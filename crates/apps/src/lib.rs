@@ -1,0 +1,24 @@
+//! The paper's applications (§5): TSP, Quicksort, and Water, each in a
+//! "strictly shared memory" lock version and one or more hybrid versions
+//! that keep data in coherent shared memory but coordinate with annotated
+//! messages.
+//!
+//! Every application really computes its result on the DSM — the tests
+//! verify tours, sort order, and simulation agreement — while virtual-time
+//! charges calibrate single-node run times to the paper's testbed so the
+//! benchmark harnesses can reproduce Tables 1–3 and Figure 2.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod harness;
+pub mod qsort;
+pub mod sor;
+pub mod tsp;
+pub mod water;
+
+pub use harness::{AppReport, Collector};
+pub use qsort::{run_qsort, QsortConfig, QsortVariant};
+pub use sor::{run_sor, SorConfig};
+pub use tsp::{run_tsp, TspConfig, TspVariant};
+pub use water::{run_water, WaterConfig, WaterVariant};

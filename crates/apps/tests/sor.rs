@@ -1,0 +1,57 @@
+//! Correctness tests for the SOR application: the parallel DSM result must
+//! be bitwise identical to the sequential reference (red-black updates
+//! read only values frozen by the previous half-sweep).
+
+use carlos_apps::sor::{run_sor, sequential_reference, SorConfig};
+
+#[test]
+fn single_node_matches_reference_bitwise() {
+    let cfg = SorConfig::test(1);
+    let reference = sequential_reference(&cfg);
+    let r = run_sor(&cfg);
+    assert_eq!(r.grid, reference, "single-node run must be exact");
+}
+
+#[test]
+fn parallel_matches_reference_bitwise() {
+    let reference = sequential_reference(&SorConfig::test(1));
+    for n in [2, 3, 4] {
+        let r = run_sor(&SorConfig::test(n));
+        assert_eq!(
+            r.grid, reference,
+            "parallel SOR on {n} nodes must be bitwise exact"
+        );
+    }
+}
+
+#[test]
+fn update_strategy_matches_reference_bitwise() {
+    let reference = sequential_reference(&SorConfig::test(1));
+    for n in [2, 4] {
+        let mut cfg = SorConfig::test(n);
+        cfg.core = cfg.core.with_update_strategy();
+        let r = run_sor(&cfg);
+        assert_eq!(r.grid, reference, "update-mode SOR diverged on {n} nodes");
+    }
+}
+
+#[test]
+fn heat_diffuses_downward() {
+    let cfg = SorConfig::test(2);
+    let r = run_sor(&cfg);
+    let cols = cfg.cols;
+    // After some iterations, the row below the hot edge is warmer than the
+    // row above the cold edge.
+    let warm: f64 = (1..cols - 1).map(|c| r.grid[cols + c]).sum();
+    let cool: f64 = (1..cols - 1).map(|c| r.grid[(cfg.rows - 2) * cols + c]).sum();
+    assert!(warm > cool, "diffusion direction wrong: {warm} vs {cool}");
+    assert!(r.checksum > 0.0);
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let a = run_sor(&SorConfig::test(3));
+    let b = run_sor(&SorConfig::test(3));
+    assert_eq!(a.app.report.elapsed, b.app.report.elapsed);
+    assert_eq!(a.grid, b.grid);
+}

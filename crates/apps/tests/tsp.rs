@@ -1,0 +1,83 @@
+//! Correctness tests for the TSP application: both variants must find the
+//! exact optimum (verified against a Held–Karp oracle) on every cluster
+//! size, and the hybrid must use substantially fewer messages.
+
+use carlos_apps::tsp::{run_tsp, Cities, TspConfig, TspVariant};
+
+#[test]
+fn oracle_agrees_with_greedy_bound_ordering() {
+    let c = Cities::generate(10, 42);
+    let opt = c.held_karp();
+    let greedy = c.greedy_bound();
+    assert!(opt <= greedy, "optimum cannot exceed the greedy tour");
+    assert!(opt > 0);
+}
+
+#[test]
+fn lock_variant_finds_optimum_single_node() {
+    let cfg = TspConfig::test(1, TspVariant::Lock);
+    let opt = Cities::generate(cfg.n_cities, cfg.seed).held_karp();
+    let r = run_tsp(&cfg);
+    assert_eq!(r.best_len, opt);
+    assert!(r.expansions > 0);
+}
+
+#[test]
+fn lock_variant_finds_optimum_four_nodes() {
+    let cfg = TspConfig::test(4, TspVariant::Lock);
+    let opt = Cities::generate(cfg.n_cities, cfg.seed).held_karp();
+    let r = run_tsp(&cfg);
+    assert_eq!(r.best_len, opt, "parallel lock version missed the optimum");
+}
+
+#[test]
+fn hybrid_variant_finds_optimum_four_nodes() {
+    let cfg = TspConfig::test(4, TspVariant::Hybrid);
+    let opt = Cities::generate(cfg.n_cities, cfg.seed).held_karp();
+    let r = run_tsp(&cfg);
+    assert_eq!(r.best_len, opt, "hybrid version missed the optimum");
+}
+
+#[test]
+fn hybrid_variant_finds_optimum_two_and_three_nodes() {
+    for n in [2, 3] {
+        let cfg = TspConfig::test(n, TspVariant::Hybrid);
+        let opt = Cities::generate(cfg.n_cities, cfg.seed).held_karp();
+        let r = run_tsp(&cfg);
+        assert_eq!(r.best_len, opt, "hybrid on {n} nodes missed the optimum");
+    }
+}
+
+#[test]
+fn hybrid_uses_fewer_messages_than_lock() {
+    let lock = run_tsp(&TspConfig::test(3, TspVariant::Lock));
+    let hybrid = run_tsp(&TspConfig::test(3, TspVariant::Hybrid));
+    assert!(
+        hybrid.app.messages < lock.app.messages,
+        "hybrid sent {} messages, lock {}",
+        hybrid.app.messages,
+        lock.app.messages
+    );
+    // And average message size grows, as in Table 1.
+    assert!(hybrid.app.avg_msg_bytes > lock.app.avg_msg_bytes);
+}
+
+#[test]
+fn all_release_variant_still_correct() {
+    let mut cfg = TspConfig::test(3, TspVariant::Hybrid);
+    cfg.all_release = true;
+    let opt = Cities::generate(cfg.n_cities, cfg.seed).held_karp();
+    let r = run_tsp(&cfg);
+    assert_eq!(r.best_len, opt);
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let cfg = TspConfig::test(3, TspVariant::Hybrid);
+    let a = run_tsp(&cfg);
+    let b = run_tsp(&cfg);
+    assert_eq!(a.best_len, b.best_len);
+    assert_eq!(a.app.report.elapsed, b.app.report.elapsed);
+    assert_eq!(a.app.messages, b.app.messages);
+    assert_eq!(a.expansions, b.expansions);
+}

@@ -1,0 +1,94 @@
+//! Correctness tests for the Water application.
+
+use carlos_apps::water::{run_water, WaterConfig, WaterVariant};
+
+fn close(a: &[[f64; 3]], b: &[[f64; 3]], tol: f64) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b)
+            .all(|(x, y)| (0..3).all(|d| (x[d] - y[d]).abs() < tol))
+}
+
+#[test]
+fn lock_variant_runs_single_node() {
+    let r = run_water(&WaterConfig::test(1, WaterVariant::Lock));
+    assert_eq!(r.positions.len(), 27);
+    assert!(r.kinetic.is_finite());
+    assert!(r.kinetic > 0.0, "molecules should be moving");
+}
+
+#[test]
+fn lock_and_hybrid_agree_single_node() {
+    let lock = run_water(&WaterConfig::test(1, WaterVariant::Lock));
+    let hybrid = run_water(&WaterConfig::test(1, WaterVariant::Hybrid));
+    assert!(
+        close(&lock.positions, &hybrid.positions, 1e-9),
+        "single-node variants must agree almost exactly"
+    );
+}
+
+#[test]
+fn parallel_matches_sequential_lock() {
+    let seq = run_water(&WaterConfig::test(1, WaterVariant::Lock));
+    let par = run_water(&WaterConfig::test(4, WaterVariant::Lock));
+    // Force contributions sum in different orders: tolerate FP noise only.
+    assert!(
+        close(&seq.positions, &par.positions, 1e-6),
+        "parallel lock run diverged from sequential"
+    );
+}
+
+#[test]
+fn parallel_hybrid_matches_sequential() {
+    let seq = run_water(&WaterConfig::test(1, WaterVariant::Lock));
+    for n in [2, 3, 4] {
+        let par = run_water(&WaterConfig::test(n, WaterVariant::Hybrid));
+        assert!(
+            close(&seq.positions, &par.positions, 1e-6),
+            "hybrid on {n} nodes diverged"
+        );
+    }
+}
+
+#[test]
+fn hybrid_uses_fewer_messages_than_lock() {
+    let lock = run_water(&WaterConfig::test(4, WaterVariant::Lock));
+    let hybrid = run_water(&WaterConfig::test(4, WaterVariant::Hybrid));
+    assert!(
+        hybrid.app.messages < lock.app.messages,
+        "hybrid sent {} vs lock {}",
+        hybrid.app.messages,
+        lock.app.messages
+    );
+}
+
+#[test]
+fn all_release_hybrid_still_correct() {
+    let mut cfg = WaterConfig::test(3, WaterVariant::Hybrid);
+    cfg.all_release = true;
+    let seq = run_water(&WaterConfig::test(1, WaterVariant::Lock));
+    let r = run_water(&cfg);
+    assert!(close(&seq.positions, &r.positions, 1e-6));
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let a = run_water(&WaterConfig::test(3, WaterVariant::Hybrid));
+    let b = run_water(&WaterConfig::test(3, WaterVariant::Hybrid));
+    assert_eq!(a.app.report.elapsed, b.app.report.elapsed);
+    assert_eq!(a.positions, b.positions, "bitwise determinism expected");
+}
+
+#[test]
+fn update_strategy_matches_invalidate() {
+    let seq = run_water(&WaterConfig::test(1, WaterVariant::Lock));
+    for variant in [WaterVariant::Lock, WaterVariant::Hybrid] {
+        let mut cfg = WaterConfig::test(4, variant);
+        cfg.core = cfg.core.with_update_strategy();
+        let r = run_water(&cfg);
+        assert!(
+            close(&seq.positions, &r.positions, 1e-6),
+            "update strategy diverged for {variant:?}"
+        );
+    }
+}

@@ -1,0 +1,152 @@
+//! Regenerates the §5.4 measurements: the costs of the consistency
+//! annotations, the per-write-notice overhead of each application, and the
+//! all-RELEASE contrast runs.
+//!
+//! Run with `cargo bench -p carlos-bench --bench annotation_costs`.
+
+use carlos_apps::{
+    qsort::{run_qsort, QsortConfig, QsortVariant},
+    tsp::{run_tsp, TspConfig, TspVariant},
+    water::{run_water, WaterConfig, WaterVariant},
+};
+use carlos_core::{Annotation, CoreConfig, Runtime};
+use carlos_lrc::LrcConfig;
+use carlos_sim::{Bucket, Cluster, SimConfig};
+
+/// Measures the sender+receiver CarlOS-bucket cost per message for one
+/// annotation by streaming `count` messages through a two-node cluster.
+fn per_message_cost(annotation: Annotation, count: u32) -> f64 {
+    let mut cluster = Cluster::new(SimConfig::osdi94(), 2);
+    cluster.spawn_node(0, move |ctx| {
+        let mut rt = Runtime::new(ctx, LrcConfig::osdi94(2, 1 << 16), CoreConfig::osdi94());
+        // Dirty one page so releases have an interval to announce once.
+        rt.write_u32(0, 1);
+        for i in 0..count {
+            rt.send(1, 7, i.to_le_bytes().to_vec(), annotation);
+        }
+        let _ = rt.wait_accepted(8);
+        rt.shutdown();
+    });
+    cluster.spawn_node(1, move |ctx| {
+        let mut rt = Runtime::new(ctx, LrcConfig::osdi94(2, 1 << 16), CoreConfig::osdi94());
+        for _ in 0..count {
+            let _ = rt.wait_accepted(7);
+        }
+        rt.send(0, 8, vec![], Annotation::None);
+        rt.shutdown();
+    });
+    let r = cluster.run();
+    let carlos_ns = r.bucket_total(Bucket::Carlos);
+    carlos_ns as f64 / 1000.0 / f64::from(count)
+}
+
+fn main() {
+    println!("== §5.4 annotation micro-costs (per message, sender + receiver) ==");
+    const K: u32 = 500;
+    let none = per_message_cost(Annotation::None, K);
+    let request = per_message_cost(Annotation::Request, K);
+    let release = per_message_cost(Annotation::Release, K);
+    println!("  NONE       baseline handling: {none:7.1} us");
+    println!(
+        "  REQUEST -- NONE = {:6.1} us   (paper: 5-15 us of vector-timestamp handling)",
+        request - none
+    );
+    println!(
+        "  RELEASE -- NONE = {:6.1} us   (paper: ~30 us fixed, plus write-notice work)",
+        release - none
+    );
+
+    println!();
+    println!("== Consistency overhead per write notice (CarlOS bucket / notices applied) ==");
+    println!("   (paper: TSP 42/52 us, Quicksort 125/141 us, Water 94/95 us for lock/hybrid)");
+    let per_notice = |label: &str, carlos_s: f64, notices: u64, paper: f64| {
+        if notices < 100 {
+            // The hybrid TSP shares almost nothing through memory (the
+            // bound is a single word), so the quotient is meaningless.
+            println!(
+                "  {label:<12}     n/a ({notices} notices — almost no shared-memory traffic)"
+            );
+            return;
+        }
+        let us = carlos_s * 1e6 / notices as f64;
+        println!("  {label:<12} {us:7.1} us/notice over {notices:>7} notices   (paper {paper:.0} us)");
+    };
+    let r = run_tsp(&TspConfig::paper(4, TspVariant::Lock));
+    per_notice(
+        "TSP/lock",
+        r.app.report.bucket_total(Bucket::Carlos) as f64 / 1e9,
+        r.app.report.counter_total("carlos.notices_applied"),
+        42.0,
+    );
+    let r = run_tsp(&TspConfig::paper(4, TspVariant::Hybrid));
+    per_notice(
+        "TSP/hybrid",
+        r.app.report.bucket_total(Bucket::Carlos) as f64 / 1e9,
+        r.app.report.counter_total("carlos.notices_applied"),
+        52.0,
+    );
+    let r = run_qsort(&QsortConfig::paper(4, QsortVariant::Lock));
+    per_notice(
+        "QS/lock",
+        r.app.report.bucket_total(Bucket::Carlos) as f64 / 1e9,
+        r.app.report.counter_total("carlos.notices_applied"),
+        125.0,
+    );
+    let r = run_qsort(&QsortConfig::paper(4, QsortVariant::Hybrid1));
+    per_notice(
+        "QS/hybrid",
+        r.app.report.bucket_total(Bucket::Carlos) as f64 / 1e9,
+        r.app.report.counter_total("carlos.notices_applied"),
+        141.0,
+    );
+    let r = run_water(&WaterConfig::paper(4, WaterVariant::Lock));
+    per_notice(
+        "Water/lock",
+        r.app.report.bucket_total(Bucket::Carlos) as f64 / 1e9,
+        r.app.report.counter_total("carlos.notices_applied"),
+        94.0,
+    );
+    let r = run_water(&WaterConfig::paper(4, WaterVariant::Hybrid));
+    per_notice(
+        "Water/hybrid",
+        r.app.report.bucket_total(Bucket::Carlos) as f64 / 1e9,
+        r.app.report.counter_total("carlos.notices_applied"),
+        95.0,
+    );
+
+    println!();
+    println!("== All-RELEASE contrast: every message marked RELEASE ==");
+    let base = run_tsp(&TspConfig::paper(4, TspVariant::Hybrid));
+    let mut cfg = TspConfig::paper(4, TspVariant::Hybrid);
+    cfg.all_release = true;
+    let rel = run_tsp(&cfg);
+    println!(
+        "  TSP/hybrid   {:5.1}s -> {:5.1}s  ({:+.1}%)   (paper: +2.4%)",
+        base.app.secs,
+        rel.app.secs,
+        (rel.app.secs / base.app.secs - 1.0) * 100.0
+    );
+    let base = run_water(&WaterConfig::paper(4, WaterVariant::Hybrid));
+    let mut cfg = WaterConfig::paper(4, WaterVariant::Hybrid);
+    cfg.all_release = true;
+    let rel = run_water(&cfg);
+    println!(
+        "  Water/hybrid {:5.1}s -> {:5.1}s  ({:+.1}%)   (paper: +1.4%)",
+        base.app.secs,
+        rel.app.secs,
+        (rel.app.secs / base.app.secs - 1.0) * 100.0
+    );
+    let base = run_qsort(&QsortConfig::paper(4, QsortVariant::Hybrid1));
+    let rel = run_qsort(&QsortConfig::paper(4, QsortVariant::Hybrid2));
+    println!(
+        "  QS Hybrid-2  {:5.1}s -> {:5.1}s  ({:+.1}%)   (paper: 11.8s -> 14.2s, +20%)",
+        base.app.secs,
+        rel.app.secs,
+        (rel.app.secs / base.app.secs - 1.0) * 100.0
+    );
+    let nf = run_qsort(&QsortConfig::paper(4, QsortVariant::HybridNoForward));
+    println!(
+        "  QS no-forward {:4.1}s             (paper: \"nearly identical to Hybrid-2\")",
+        nf.app.secs
+    );
+}

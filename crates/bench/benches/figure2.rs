@@ -1,0 +1,10 @@
+//! Regenerates Figure 2 of the paper: the execution-time breakdown
+//! (User / Unix / CarlOS / Idle) for all six application variants on four
+//! nodes.
+//!
+//! Run with `cargo bench -p carlos-bench --bench figure2`.
+
+fn main() {
+    let bars = carlos_bench::figure2();
+    println!("{}", carlos_bench::render_figure2(&bars));
+}

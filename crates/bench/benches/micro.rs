@@ -1,0 +1,99 @@
+//! Criterion microbenchmarks of the core data structures: diff creation
+//! and application, vector-timestamp operations, the wire codec, and
+//! interval-store queries.
+//!
+//! Run with `cargo bench -p carlos-bench --bench micro`.
+
+use carlos_lrc::{Diff, IntervalRecord, Vc};
+use carlos_util::codec::Wire;
+use carlos_util::rng::Xoshiro256;
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+const PAGE: usize = 8192;
+
+fn page_pair(change_every: usize) -> (Vec<u8>, Vec<u8>) {
+    let mut rng = Xoshiro256::new(42);
+    let twin: Vec<u8> = (0..PAGE).map(|_| rng.next_u64() as u8).collect();
+    let mut cur = twin.clone();
+    let mut i = 0;
+    while i < PAGE {
+        cur[i] = cur[i].wrapping_add(1);
+        i += change_every;
+    }
+    (twin, cur)
+}
+
+fn bench_diff(c: &mut Criterion) {
+    let mut g = c.benchmark_group("diff");
+    for (label, every) in [("sparse_1_in_64", 64usize), ("dense_1_in_4", 4)] {
+        let (twin, cur) = page_pair(every);
+        g.bench_function(format!("create_{label}"), |b| {
+            b.iter(|| Diff::create(black_box(&twin), black_box(&cur)));
+        });
+        let diff = Diff::create(&twin, &cur);
+        g.bench_function(format!("apply_{label}"), |b| {
+            b.iter_batched(
+                || twin.clone(),
+                |mut page| {
+                    diff.apply(&mut page);
+                    black_box(page)
+                },
+                BatchSize::SmallInput,
+            );
+        });
+        g.bench_function(format!("wire_roundtrip_{label}"), |b| {
+            b.iter(|| {
+                let bytes = black_box(&diff).to_wire();
+                Diff::from_wire(&bytes).expect("roundtrip")
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_vc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("vector_timestamp");
+    let mut a = Vc::new(16);
+    let mut b = Vc::new(16);
+    for i in 0..16u32 {
+        a.set(i, i % 5);
+        b.set(i, (i + 2) % 7);
+    }
+    g.bench_function("dominates_16", |bch| {
+        bch.iter(|| black_box(&a).dominates(black_box(&b)));
+    });
+    g.bench_function("join_16", |bch| {
+        bch.iter_batched(
+            || a.clone(),
+            |mut x| {
+                x.join(&b);
+                black_box(x)
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.bench_function("wire_roundtrip_16", |bch| {
+        bch.iter(|| Vc::from_wire(&black_box(&a).to_wire()).expect("roundtrip"));
+    });
+    g.finish();
+}
+
+fn bench_records(c: &mut Criterion) {
+    let mut g = c.benchmark_group("interval_record");
+    let mut vc = Vc::new(8);
+    vc.set(3, 17);
+    let rec = IntervalRecord {
+        node: 3,
+        index: 17,
+        vc,
+        pages: (0..24).collect(),
+    };
+    g.bench_function("wire_roundtrip_24_notices", |bch| {
+        bch.iter(|| IntervalRecord::from_wire(&black_box(&rec).to_wire()).expect("roundtrip"));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_diff, bench_vc, bench_records);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! SOR scaling and strategy ablation (beyond the paper's applications).
+//!
+//! Red-black SOR is the archetypal barrier-only DSM workload: all
+//! communication is boundary-row exchange. This bench scales it over 1–4
+//! nodes under both coherence strategies. The outcome is instructive in
+//! the opposite way from Water: under barriers, the update strategy ships
+//! *every* node's diffs to *every* node inside the departure messages —
+//! the whole grid delta, N times over — and loses badly, whereas direct
+//! per-peer notification (Water's shipped updates, TSP's lock grants) is
+//! where eager data wins. Demand fetching is the safe default precisely
+//! because senders cannot know what receivers will read.
+//!
+//! Run with `cargo bench -p carlos-bench --bench sor`.
+
+use carlos_apps::sor::{run_sor, SorConfig};
+
+fn main() {
+    println!("== Red-black SOR, 2048x512, 10 iterations ==");
+    println!("nodes | strategy    | time    speedup | msgs    avg(B) | fetches");
+    let mut single = [0.0f64; 2];
+    for n in [1usize, 2, 3, 4] {
+        for (mode, label) in [(false, "invalidate"), (true, "update    ")] {
+            let mut cfg = SorConfig::paper_scale(n);
+            if mode {
+                cfg.core = cfg.core.with_update_strategy();
+            }
+            let r = run_sor(&cfg);
+            let idx = usize::from(mode);
+            if n == 1 {
+                single[idx] = r.app.secs;
+            }
+            println!(
+                "  {n}   | {label}  | {:6.2}s   {:4.2}x | {:>6}  {:>5} | {:>6}",
+                r.app.secs,
+                single[idx] / r.app.secs,
+                r.app.messages,
+                r.app.avg_msg_bytes,
+                r.app.report.counter_total("carlos.diff_requests"),
+            );
+        }
+    }
+    println!();
+    println!("  (Under barriers the update strategy broadcasts every band's diffs");
+    println!("   to every node and loses; demand fetching moves only the boundary");
+    println!("   rows each neighbour actually reads.)");
+}

@@ -1,0 +1,8 @@
+//! Regenerates Table 1 of the paper: the TSP application on CarlOS using
+//! coherent shared memory and either locks or message-passing.
+//!
+//! Run with `cargo bench -p carlos-bench --bench table1`.
+
+fn main() {
+    println!("{}", carlos_bench::table1());
+}

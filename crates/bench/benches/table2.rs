@@ -1,0 +1,9 @@
+//! Regenerates Table 2 of the paper: the Quicksort application using a
+//! lock-protected shared stack versus a message-based work queue
+//! (Hybrid-1), plus the all-RELEASE Hybrid-2 variation.
+//!
+//! Run with `cargo bench -p carlos-bench --bench table2`.
+
+fn main() {
+    println!("{}", carlos_bench::table2());
+}

@@ -1,0 +1,8 @@
+//! Regenerates Table 3 of the paper: the Water application using
+//! per-molecule locks versus update functions shipped in NONE messages.
+//!
+//! Run with `cargo bench -p carlos-bench --bench table3`.
+
+fn main() {
+    println!("{}", carlos_bench::table3());
+}

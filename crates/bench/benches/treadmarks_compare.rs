@@ -1,0 +1,55 @@
+//! Regenerates the §5 TreadMarks-versus-CarlOS comparison: running the
+//! unmodified lock-and-barrier applications with TreadMarks-style
+//! specialized message dispatch versus CarlOS's general annotated-message
+//! handling.
+//!
+//! The paper reports a 5-6% total-time penalty for TSP and Quicksort
+//! (attributed to the generality of CarlOS message handling amplified by
+//! lock-acquisition latency under contention) and no measurable penalty
+//! for Water. Only the dispatch-cost component is modeled here, so the
+//! measured penalty is expected at the low end.
+//!
+//! Run with `cargo bench -p carlos-bench --bench treadmarks_compare`.
+
+use carlos_apps::{
+    qsort::{run_qsort, QsortConfig, QsortVariant},
+    tsp::{run_tsp, TspConfig, TspVariant},
+    water::{run_water, WaterConfig, WaterVariant},
+};
+
+fn main() {
+    println!("== TreadMarks-style dispatch vs CarlOS generality (lock versions, 4 nodes) ==");
+
+    let mut tmk = TspConfig::paper(4, TspVariant::Lock);
+    tmk.core = tmk.core.with_treadmarks_dispatch();
+    let t_tmk = run_tsp(&tmk);
+    let t_car = run_tsp(&TspConfig::paper(4, TspVariant::Lock));
+    println!(
+        "  TSP    TreadMarks {:5.1}s   CarlOS {:5.1}s   penalty {:+.1}%   (paper: +5-6%)",
+        t_tmk.app.secs,
+        t_car.app.secs,
+        (t_car.app.secs / t_tmk.app.secs - 1.0) * 100.0
+    );
+
+    let mut tmk = QsortConfig::paper(4, QsortVariant::Lock);
+    tmk.core = tmk.core.with_treadmarks_dispatch();
+    let q_tmk = run_qsort(&tmk);
+    let q_car = run_qsort(&QsortConfig::paper(4, QsortVariant::Lock));
+    println!(
+        "  QS     TreadMarks {:5.1}s   CarlOS {:5.1}s   penalty {:+.1}%   (paper: +5-6%)",
+        q_tmk.app.secs,
+        q_car.app.secs,
+        (q_car.app.secs / q_tmk.app.secs - 1.0) * 100.0
+    );
+
+    let mut tmk = WaterConfig::paper(4, WaterVariant::Lock);
+    tmk.core = tmk.core.with_treadmarks_dispatch();
+    let w_tmk = run_water(&tmk);
+    let w_car = run_water(&WaterConfig::paper(4, WaterVariant::Lock));
+    println!(
+        "  Water  TreadMarks {:5.1}s   CarlOS {:5.1}s   penalty {:+.1}%   (paper: ~0%)",
+        w_tmk.app.secs,
+        w_car.app.secs,
+        (w_car.app.secs / w_tmk.app.secs - 1.0) * 100.0
+    );
+}

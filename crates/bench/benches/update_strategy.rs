@@ -1,0 +1,80 @@
+//! Ablation: the §4.3 update strategy versus the invalidate strategy the
+//! paper's experiments used. The update strategy piggybacks diffs on
+//! RELEASE messages so "the actual data transmission occurs eagerly and
+//! asynchronously when the notification message is sent" (§3) — trading
+//! demand round-trips for eager bytes.
+//!
+//! Run with `cargo bench -p carlos-bench --bench update_strategy`.
+
+use carlos_apps::{
+    qsort::{run_qsort, QsortConfig, QsortVariant},
+    tsp::{run_tsp, TspConfig, TspVariant},
+    water::{run_water, WaterConfig, WaterVariant},
+};
+use carlos_sim::Bucket;
+
+struct Line {
+    label: &'static str,
+    time_s: f64,
+    msgs: u64,
+    kbytes: u64,
+    diff_fetches: u64,
+    idle_s: f64,
+}
+
+fn print(inv: &Line, upd: &Line) {
+    println!(
+        "  {:<12} invalidate: {:5.1}s {:>7} msgs {:>7} KB {:>6} fetches  idle {:4.1}s",
+        inv.label, inv.time_s, inv.msgs, inv.kbytes, inv.diff_fetches, inv.idle_s
+    );
+    println!(
+        "  {:<12} update:     {:5.1}s {:>7} msgs {:>7} KB {:>6} fetches  idle {:4.1}s  ({:+.1}% time)",
+        "", upd.time_s, upd.msgs, upd.kbytes, upd.diff_fetches, upd.idle_s,
+        (upd.time_s / inv.time_s - 1.0) * 100.0
+    );
+}
+
+fn main() {
+    println!("== Update vs invalidate coherence strategy (4 nodes, paper workloads) ==");
+
+    let line = |label: &'static str, app: &carlos_apps::harness::AppReport| Line {
+        label,
+        time_s: app.secs,
+        msgs: app.messages,
+        kbytes: app.report.net.payload_bytes / 1024,
+        diff_fetches: app.report.counter_total("carlos.diff_requests"),
+        idle_s: app.bucket_secs(Bucket::Idle),
+    };
+
+    let inv = run_water(&WaterConfig::paper(4, WaterVariant::Lock));
+    let mut cfg = WaterConfig::paper(4, WaterVariant::Lock);
+    cfg.core = cfg.core.with_update_strategy();
+    let upd = run_water(&cfg);
+    print(&line("Water/lock", &inv.app), &line("", &upd.app));
+
+    let inv = run_water(&WaterConfig::paper(4, WaterVariant::Hybrid));
+    let mut cfg = WaterConfig::paper(4, WaterVariant::Hybrid);
+    cfg.core = cfg.core.with_update_strategy();
+    let upd = run_water(&cfg);
+    print(&line("Water/hybrid", &inv.app), &line("", &upd.app));
+
+    let inv = run_qsort(&QsortConfig::paper(4, QsortVariant::Lock));
+    let mut cfg = QsortConfig::paper(4, QsortVariant::Lock);
+    cfg.core = cfg.core.with_update_strategy();
+    let upd = run_qsort(&cfg);
+    assert!(upd.sorted && upd.permutation_ok);
+    print(&line("QS/lock", &inv.app), &line("", &upd.app));
+
+    let inv = run_tsp(&TspConfig::paper(4, TspVariant::Lock));
+    let mut cfg = TspConfig::paper(4, TspVariant::Lock);
+    cfg.core = cfg.core.with_update_strategy();
+    let upd = run_tsp(&cfg);
+    assert_eq!(inv.best_len, upd.best_len, "strategy must not change results");
+    print(&line("TSP/lock", &inv.app), &line("", &upd.app));
+
+    println!();
+    println!("  (The paper ran invalidate only; §4.3 designed the update mode and §3");
+    println!("   argues it makes shared-memory notification patterns eager. The win");
+    println!("   shows where demand fetches dominate; the cost is eager bytes that");
+    println!("   may never be read.)");
+}

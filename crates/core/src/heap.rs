@@ -1,0 +1,188 @@
+//! Address-space layout helpers for the three CarlOS regions (§4.1).
+//!
+//! Applications see three disjoint regions:
+//!
+//! 1. a **private** region — ordinary Rust data on each node;
+//! 2. a **non-coherent shared** region — identical address mappings on all
+//!    nodes, but contents kept consistent only by explicit application
+//!    messages ([`NonCoherentRegion`]);
+//! 3. the **coherent shared** region — kept consistent by the
+//!    message-driven mechanism (accessed through `Runtime`).
+//!
+//! [`CoherentHeap`] is a deterministic bump allocator: SPMD programs run the
+//! same allocation sequence on every node, so all nodes compute identical
+//! addresses with no communication.
+
+/// Deterministic bump allocator over a coherent (or non-coherent) region.
+///
+/// # Examples
+///
+/// ```
+/// let mut heap = carlos_core::CoherentHeap::new(1 << 16);
+/// let a = heap.alloc(100, 8);
+/// let b = heap.alloc(4, 4);
+/// assert!(b >= a + 100);
+/// assert_eq!(a % 8, 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CoherentHeap {
+    next: usize,
+    limit: usize,
+}
+
+impl CoherentHeap {
+    /// A heap over `limit` bytes starting at address 0.
+    #[must_use]
+    pub fn new(limit: usize) -> Self {
+        Self { next: 0, limit }
+    }
+
+    /// Allocates `size` bytes aligned to `align`; returns the address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align` is not a power of two or the region is exhausted.
+    pub fn alloc(&mut self, size: usize, align: usize) -> usize {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        let addr = (self.next + align - 1) & !(align - 1);
+        let end = addr
+            .checked_add(size)
+            .expect("allocation size overflow");
+        assert!(
+            end <= self.limit,
+            "coherent region exhausted: want {size} at {addr}, limit {}",
+            self.limit
+        );
+        self.next = end;
+        addr
+    }
+
+    /// Allocates a `count`-element array of `elem_size`-byte elements,
+    /// page-aligning nothing special — alignment is `elem_size` rounded to
+    /// the next power of two (capped at 16).
+    pub fn alloc_array(&mut self, count: usize, elem_size: usize) -> usize {
+        let align = elem_size.next_power_of_two().clamp(1, 16);
+        self.alloc(count * elem_size, align)
+    }
+
+    /// Bytes allocated so far.
+    #[must_use]
+    pub fn used(&self) -> usize {
+        self.next
+    }
+
+    /// Total capacity.
+    #[must_use]
+    pub fn limit(&self) -> usize {
+        self.limit
+    }
+}
+
+/// The non-coherent shared region: a per-node byte array with an identical
+/// layout on every node. The single address map gives pointers a consistent
+/// interpretation; consistency of the *contents* is the application's (or a
+/// runtime library's) responsibility, by messaging.
+#[derive(Debug, Clone)]
+pub struct NonCoherentRegion {
+    data: Vec<u8>,
+}
+
+impl NonCoherentRegion {
+    /// A zero-filled region of `size` bytes.
+    #[must_use]
+    pub fn new(size: usize) -> Self {
+        Self {
+            data: vec![0; size],
+        }
+    }
+
+    /// Reads `buf.len()` bytes at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range access.
+    pub fn read(&self, addr: usize, buf: &mut [u8]) {
+        buf.copy_from_slice(&self.data[addr..addr + buf.len()]);
+    }
+
+    /// Writes `data` at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range access.
+    pub fn write(&mut self, addr: usize, data: &[u8]) {
+        self.data[addr..addr + data.len()].copy_from_slice(data);
+    }
+
+    /// Region size in bytes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True for a zero-sized region.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_allocation_is_monotone_and_aligned() {
+        let mut h = CoherentHeap::new(1024);
+        let a = h.alloc(10, 4);
+        let b = h.alloc(1, 1);
+        let c = h.alloc(8, 8);
+        assert_eq!(a % 4, 0);
+        assert!(b >= a + 10);
+        assert_eq!(c % 8, 0);
+        assert!(h.used() >= 19);
+    }
+
+    #[test]
+    fn identical_sequences_give_identical_addresses() {
+        let mut h1 = CoherentHeap::new(4096);
+        let mut h2 = CoherentHeap::new(4096);
+        let seq = [(100, 8), (3, 1), (64, 16), (1, 1)];
+        for (s, a) in seq {
+            assert_eq!(h1.alloc(s, a), h2.alloc(s, a));
+        }
+    }
+
+    #[test]
+    fn alloc_array_sizes() {
+        let mut h = CoherentHeap::new(1 << 20);
+        let a = h.alloc_array(100, 8);
+        assert_eq!(a % 8, 0);
+        let b = h.alloc_array(10, 3); // 3 rounds to 4-byte alignment.
+        assert_eq!(b % 4, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exhausted")]
+    fn exhaustion_panics() {
+        let mut h = CoherentHeap::new(16);
+        let _ = h.alloc(17, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_alignment_panics() {
+        let mut h = CoherentHeap::new(64);
+        let _ = h.alloc(1, 3);
+    }
+
+    #[test]
+    fn noncoherent_region_roundtrip() {
+        let mut r = NonCoherentRegion::new(64);
+        assert_eq!(r.len(), 64);
+        r.write(10, &[1, 2, 3]);
+        let mut buf = [0u8; 3];
+        r.read(10, &mut buf);
+        assert_eq!(buf, [1, 2, 3]);
+    }
+}

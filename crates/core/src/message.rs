@@ -1,0 +1,267 @@
+//! User-level message representation and wire format.
+
+use carlos_lrc::{DiffRecord, IntervalRecord, Vc};
+use carlos_util::codec::{DecodeError, Decoder, Encoder, Wire};
+
+use crate::annotation::Annotation;
+
+/// The consistency information appended to a message under its annotation.
+///
+/// This is the part of the message that is "invisible at the user level"
+/// (§4.3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Consistency {
+    /// NONE messages carry nothing.
+    None,
+    /// REQUEST messages piggyback the sender's vector timestamp.
+    Request {
+        /// The sender's vector timestamp at send time.
+        vt: Vc,
+    },
+    /// RELEASE / RELEASE_NT messages.
+    Release {
+        /// The minimum vector timestamp a recipient must reach to become
+        /// consistent on the basis of this message; necessary to handle
+        /// forwarding correctly (§4.3).
+        required: Vc,
+        /// Interval descriptions (write notices).
+        records: Vec<IntervalRecord>,
+        /// Diffs for the noticed pages — empty under the invalidate
+        /// strategy; populated under the update/hybrid strategy, where
+        /// "pages to which a 'complete' set of diffs can be applied remain
+        /// valid" (§4.3).
+        diffs: Vec<DiffRecord>,
+    },
+}
+
+/// A user-level CarlOS message as seen by a low-level handler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// Immediate sender (the forwarder, for forwarded messages).
+    pub src: u32,
+    /// Original sender — the node whose consistency information the message
+    /// encapsulates, and the node to ask when that information is
+    /// inadequate after a forward.
+    pub origin: u32,
+    /// Handler identifier the message is dispatched to.
+    pub handler: u32,
+    /// The user-visible consistency annotation.
+    pub annotation: Annotation,
+    /// Application payload.
+    pub body: Vec<u8>,
+    /// System-appended consistency information.
+    pub consistency: Consistency,
+}
+
+impl Message {
+    /// Encodes everything except `src` (which the transport supplies).
+    ///
+    /// `pad` appends that many zero bytes as a modeled header: the real
+    /// system's messages carried request ids, types, and bookkeeping
+    /// structures considerably fatter than this crate's minimal encoding,
+    /// and the paper's tables report message sizes including them.
+    #[must_use]
+    pub fn to_wire_bytes(&self, pad: usize) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        self.annotation.encode(&mut enc);
+        enc.put_u32(self.handler);
+        enc.put_u32(self.origin);
+        enc.put_bytes(&vec![0u8; pad]);
+        enc.put_bytes(&self.body);
+        match &self.consistency {
+            Consistency::None => {}
+            Consistency::Request { vt } => vt.encode(&mut enc),
+            Consistency::Release {
+                required,
+                records,
+                diffs,
+            } => {
+                required.encode(&mut enc);
+                enc.put_seq(records, |enc, r| r.encode(enc));
+                enc.put_seq(diffs, |enc, d| d.encode(enc));
+            }
+        }
+        enc.finish_vec()
+    }
+
+    /// Decodes a message received from `src`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] on truncated or malformed input.
+    pub fn from_wire_bytes(src: u32, buf: &[u8]) -> Result<Self, DecodeError> {
+        let mut dec = Decoder::new(buf);
+        let annotation = Annotation::decode(&mut dec)?;
+        let handler = dec.get_u32()?;
+        let origin = dec.get_u32()?;
+        let _pad = dec.get_bytes()?;
+        let body = dec.get_bytes()?;
+        let consistency = match annotation {
+            Annotation::None => Consistency::None,
+            Annotation::Request => Consistency::Request {
+                vt: Vc::decode(&mut dec)?,
+            },
+            Annotation::Release | Annotation::ReleaseNt => Consistency::Release {
+                required: Vc::decode(&mut dec)?,
+                records: dec.get_seq(IntervalRecord::decode)?,
+                diffs: dec.get_seq(DiffRecord::decode)?,
+            },
+        };
+        dec.expect_end()?;
+        Ok(Self {
+            src,
+            origin,
+            handler,
+            annotation,
+            body,
+            consistency,
+        })
+    }
+
+    /// Number of write notices carried (0 for non-release messages).
+    #[must_use]
+    pub fn notice_count(&self) -> usize {
+        match &self.consistency {
+            Consistency::Release { records, .. } => records.iter().map(|r| r.pages.len()).sum(),
+            _ => 0,
+        }
+    }
+}
+
+/// A message after acceptance, handed to user-level code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AcceptedMsg {
+    /// Immediate sender.
+    pub src: u32,
+    /// Original sender.
+    pub origin: u32,
+    /// Handler id it arrived under.
+    pub handler: u32,
+    /// The annotation it carried.
+    pub annotation: Annotation,
+    /// Application payload.
+    pub body: Vec<u8>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(node: u32, index: u32, n: usize) -> IntervalRecord {
+        let mut vc = Vc::new(n);
+        vc.set(node, index);
+        IntervalRecord {
+            node,
+            index,
+            vc,
+            pages: vec![3, 4],
+        }
+    }
+
+    #[test]
+    fn none_roundtrip() {
+        let m = Message {
+            src: 1,
+            origin: 1,
+            handler: 7,
+            annotation: Annotation::None,
+            body: b"payload".to_vec(),
+            consistency: Consistency::None,
+        };
+        let back = Message::from_wire_bytes(1, &m.to_wire_bytes(0)).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn request_roundtrip_carries_vt() {
+        let mut vt = Vc::new(3);
+        vt.set(2, 9);
+        let m = Message {
+            src: 0,
+            origin: 0,
+            handler: 1,
+            annotation: Annotation::Request,
+            body: vec![],
+            consistency: Consistency::Request { vt: vt.clone() },
+        };
+        let back = Message::from_wire_bytes(0, &m.to_wire_bytes(0)).unwrap();
+        assert_eq!(back.consistency, Consistency::Request { vt });
+    }
+
+    #[test]
+    fn release_roundtrip_with_records() {
+        let mut required = Vc::new(2);
+        required.set(0, 2);
+        let m = Message {
+            src: 0,
+            origin: 0,
+            handler: 2,
+            annotation: Annotation::Release,
+            body: vec![1, 2, 3],
+            consistency: Consistency::Release {
+                required,
+                records: vec![rec(0, 1, 2), rec(0, 2, 2)],
+                diffs: vec![],
+            },
+        };
+        let back = Message::from_wire_bytes(0, &m.to_wire_bytes(0)).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(back.notice_count(), 4);
+    }
+
+    #[test]
+    fn request_is_larger_than_none() {
+        // The §5.4 distinction: REQUEST costs a timestamp on the wire.
+        let none = Message {
+            src: 0,
+            origin: 0,
+            handler: 1,
+            annotation: Annotation::None,
+            body: vec![0; 8],
+            consistency: Consistency::None,
+        };
+        let req = Message {
+            annotation: Annotation::Request,
+            consistency: Consistency::Request { vt: Vc::new(4) },
+            ..none.clone()
+        };
+        let extra = req.to_wire_bytes(0).len() - none.to_wire_bytes(0).len();
+        // Two bytes per node plus the length prefix.
+        assert_eq!(extra, 2 + 4 * 2);
+    }
+
+    #[test]
+    fn truncated_message_rejected() {
+        let m = Message {
+            src: 0,
+            origin: 0,
+            handler: 1,
+            annotation: Annotation::Release,
+            body: vec![9; 4],
+            consistency: Consistency::Release {
+                required: Vc::new(2),
+                records: vec![rec(1, 1, 2)],
+                diffs: vec![],
+            },
+        };
+        let bytes = m.to_wire_bytes(0);
+        for cut in [1, 5, bytes.len() - 1] {
+            assert!(Message::from_wire_bytes(0, &bytes[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let m = Message {
+            src: 0,
+            origin: 0,
+            handler: 1,
+            annotation: Annotation::None,
+            body: vec![],
+            consistency: Consistency::None,
+        };
+        let mut bytes = m.to_wire_bytes(0);
+        bytes.push(0xFF);
+        assert!(Message::from_wire_bytes(0, &bytes).is_err());
+    }
+}

@@ -1,0 +1,833 @@
+//! The per-node lazy-release-consistency state machine.
+//!
+//! [`LrcEngine`] owns one node's view of the coherent shared region: page
+//! table, twins, interval records, and diffs. It performs no I/O; instead,
+//! operations that need remote data return [`Demand`]s, which the messaging
+//! layer (`carlos-core`) converts into diff/page request messages and
+//! satisfies by feeding the replies back in. This keeps the entire protocol
+//! unit-testable by driving several engines by hand.
+//!
+//! Protocol summary (§4.2–§4.3 of the paper):
+//!
+//! - All clean shared pages are read-only. A write fault creates a *twin*
+//!   and write-enables the page.
+//! - A new interval is created when a RELEASE message is sent or accepted
+//!   ([`LrcEngine::close_interval`]); it carries a write notice for every
+//!   page dirtied since the previous interval.
+//! - Accepting consistency information applies write notices by
+//!   invalidating named pages ([`LrcEngine::apply_records`]); if the local
+//!   page is dirty, its modifications are first captured in a diff.
+//! - An access fault on an invalid page demands diffs from the writers
+//!   whose notices are unapplied ([`LrcEngine::fault_demands`]); diffs are
+//!   created lazily by the writers ([`LrcEngine::serve_diffs`]) and applied
+//!   in causal order ([`LrcEngine::apply_diff_records`]). A node with no
+//!   copy demands the whole page.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::{
+    config::LrcConfig,
+    diff::{sort_causally, Diff, DiffRecord},
+    interval::{IntervalRecord, IntervalStore},
+    page::{PageId, PageMeta, PageState},
+    vc::Vc,
+};
+
+/// A remote operation the engine needs before an access can proceed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Demand {
+    /// Fetch diffs for `page` from node `to`, covering `to`'s intervals in
+    /// `(after, through]`.
+    Diffs {
+        /// Node that created the needed modifications.
+        to: u32,
+        /// Page whose diffs are needed.
+        page: PageId,
+        /// Highest interval of `to` already applied locally.
+        after: u32,
+        /// Highest interval of `to` for which a write notice is known.
+        through: u32,
+    },
+    /// Fetch a full copy of `page` from node `to` (no local copy exists).
+    Page {
+        /// Node to ask (the page's owner, which pins its copy).
+        to: u32,
+        /// Page to fetch.
+        page: PageId,
+    },
+}
+
+/// Counters the engine maintains (the paper reports several of these).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Intervals created locally.
+    pub intervals_created: u64,
+    /// Diffs created locally (twin comparisons performed).
+    pub diffs_created: u64,
+    /// Diff records applied to local pages.
+    pub diffs_applied: u64,
+    /// Write notices applied (page invalidations considered).
+    pub notices_applied: u64,
+    /// Write faults (twin creations).
+    pub write_faults: u64,
+    /// Access faults that required remote data.
+    pub remote_faults: u64,
+    /// Full-page installs.
+    pub pages_installed: u64,
+    /// Global garbage collections participated in.
+    pub gcs: u64,
+}
+
+/// One node's lazy-release-consistency engine.
+#[derive(Debug, Clone)]
+pub struct LrcEngine {
+    node: u32,
+    cfg: LrcConfig,
+    /// `vt[self]` = number of locally closed intervals; `vt[q]` = highest
+    /// interval of node `q` whose record has been applied here.
+    vt: Vc,
+    pages: Vec<PageMeta>,
+    /// Pages currently write-enabled (twin present).
+    dirty: BTreeSet<PageId>,
+    intervals: IntervalStore,
+    /// Diff records held locally, keyed by `(creator, page)`. Contains both
+    /// self-created diffs (served to others) and fetched ones (kept, as in
+    /// TreadMarks, until garbage collection).
+    diffs: BTreeMap<(u32, PageId), Vec<DiffRecord>>,
+    stats: EngineStats,
+}
+
+/// The pinning owner of `page` under `cfg`'s ownership policy.
+fn owner_for(cfg: &LrcConfig, page: PageId) -> u32 {
+    match cfg.ownership {
+        crate::config::PageOwnership::SingleOwner(n) => n,
+        crate::config::PageOwnership::Banded => {
+            let n_pages = cfg.n_pages().max(1) as u64;
+            let band = u64::from(page) * cfg.n_nodes as u64 / n_pages;
+            band.min(cfg.n_nodes as u64 - 1) as u32
+        }
+    }
+}
+
+/// Page id selected for diagnostic tracing via `LRC_TRACE_PAGE`, if any.
+fn trace_page() -> Option<PageId> {
+    static TRACE: std::sync::OnceLock<Option<PageId>> = std::sync::OnceLock::new();
+    *TRACE.get_or_init(|| {
+        std::env::var("LRC_TRACE_PAGE")
+            .ok()
+            .and_then(|v| v.parse().ok())
+    })
+}
+
+/// Byte offset within the traced page to dump as a little-endian `u32`
+/// after every mutation, via `LRC_TRACE_OFF`.
+fn trace_off() -> usize {
+    static TRACE: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *TRACE.get_or_init(|| {
+        std::env::var("LRC_TRACE_OFF")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0)
+    })
+}
+
+impl LrcEngine {
+    /// Creates the engine for `node`. Pages start zero-filled and valid on
+    /// their owner (node 0 by convention: applications initialize shared
+    /// data there) and absent everywhere else.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range for the configured cluster size.
+    #[must_use]
+    pub fn new(node: u32, cfg: LrcConfig) -> Self {
+        assert!((node as usize) < cfg.n_nodes, "node id out of range");
+        let n_pages = cfg.n_pages();
+        let pages = (0..n_pages)
+            .map(|p| {
+                if owner_for(&cfg, p as PageId) == node {
+                    PageMeta::zeroed(cfg.n_nodes, cfg.page_size)
+                } else {
+                    PageMeta::missing(cfg.n_nodes)
+                }
+            })
+            .collect();
+        Self {
+            node,
+            vt: Vc::new(cfg.n_nodes),
+            pages,
+            dirty: BTreeSet::new(),
+            intervals: IntervalStore::new(),
+            diffs: BTreeMap::new(),
+            stats: EngineStats::default(),
+            cfg,
+        }
+    }
+
+    /// The node that pins a copy of `page` and answers full-page requests.
+    #[must_use]
+    pub fn owner_of(&self, page: PageId) -> u32 {
+        owner_for(&self.cfg, page)
+    }
+
+    /// This engine's node id.
+    #[must_use]
+    pub fn node(&self) -> u32 {
+        self.node
+    }
+
+    /// The engine's configuration.
+    #[must_use]
+    pub fn config(&self) -> &LrcConfig {
+        &self.cfg
+    }
+
+    /// Current vector timestamp.
+    #[must_use]
+    pub fn vt(&self) -> &Vc {
+        &self.vt
+    }
+
+    /// Engine statistics.
+    #[must_use]
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Read-only view of a page's state (diagnostics and tests).
+    #[must_use]
+    pub fn page_state(&self, page: PageId) -> PageState {
+        self.pages[page as usize].state
+    }
+
+    /// Page containing byte address `addr`.
+    #[must_use]
+    pub fn page_of(&self, addr: usize) -> PageId {
+        (addr / self.cfg.page_size) as PageId
+    }
+
+    // ------------------------------------------------------------------
+    // Memory access.
+    // ------------------------------------------------------------------
+
+    /// Reads `buf.len()` bytes starting at `addr` into `buf`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the demands needed to make the first inaccessible page
+    /// readable; the caller satisfies them and retries (the operation is
+    /// idempotent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range extends beyond the coherent region.
+    pub fn read(&mut self, addr: usize, buf: &mut [u8]) -> Result<(), Vec<Demand>> {
+        assert!(
+            addr + buf.len() <= self.cfg.region_bytes,
+            "read beyond coherent region: {addr}+{}",
+            buf.len()
+        );
+        let ps = self.cfg.page_size;
+        let mut done = 0;
+        while done < buf.len() {
+            let a = addr + done;
+            let page = (a / ps) as PageId;
+            self.ensure_readable(page)?;
+            let off = a % ps;
+            let n = (ps - off).min(buf.len() - done);
+            let data = &self.pages[page as usize].data;
+            buf[done..done + n].copy_from_slice(&data[off..off + n]);
+            done += n;
+        }
+        Ok(())
+    }
+
+    /// Writes `data` starting at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the demands needed to make the first inaccessible page
+    /// writable; the caller satisfies them and retries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range extends beyond the coherent region.
+    pub fn write(&mut self, addr: usize, data: &[u8]) -> Result<(), Vec<Demand>> {
+        if let Some(tp) = trace_page() {
+            let ps = self.cfg.page_size;
+            let lo = tp as usize * ps + trace_off();
+            if addr <= lo && addr + data.len() >= lo + 4 {
+                let v = u32::from_le_bytes(data[lo - addr..lo - addr + 4].try_into().expect("len"));
+                eprintln!(
+                    "LRC[{}] write covering trace offset: val={v} state={:?}",
+                    self.node, self.pages[tp as usize].state
+                );
+            }
+        }
+        assert!(
+            addr + data.len() <= self.cfg.region_bytes,
+            "write beyond coherent region: {addr}+{}",
+            data.len()
+        );
+        let ps = self.cfg.page_size;
+        if let Some(tp) = trace_page() {
+            let lo = tp as usize * ps + 312;
+            if addr <= lo && addr + data.len() > lo + 3 {
+                let v = u32::from_le_bytes(data[lo - addr..lo - addr + 4].try_into().unwrap());
+                eprintln!("LRC[{}] write covers @312: val={v}", self.node);
+            }
+        }
+        let mut done = 0;
+        while done < data.len() {
+            let a = addr + done;
+            let page = (a / ps) as PageId;
+            self.ensure_writable(page)?;
+            let off = a % ps;
+            let n = (ps - off).min(data.len() - done);
+            let dst = &mut self.pages[page as usize].data;
+            dst[off..off + n].copy_from_slice(&data[done..done + n]);
+            done += n;
+        }
+        Ok(())
+    }
+
+    /// Makes `page` readable or reports what must be fetched first.
+    ///
+    /// # Errors
+    ///
+    /// Returns outstanding [`Demand`]s if remote data is required.
+    pub fn ensure_readable(&mut self, page: PageId) -> Result<(), Vec<Demand>> {
+        match self.pages[page as usize].state {
+            PageState::ReadOnly | PageState::ReadWrite => Ok(()),
+            PageState::Missing | PageState::Invalid => {
+                let demands = self.fault_demands(page);
+                if demands.is_empty() {
+                    // Every known notice is covered after all; revalidate.
+                    let meta = &mut self.pages[page as usize];
+                    meta.state = if meta.twin.is_some() {
+                        PageState::ReadWrite
+                    } else {
+                        PageState::ReadOnly
+                    };
+                    Ok(())
+                } else {
+                    self.stats.remote_faults += 1;
+                    Err(demands)
+                }
+            }
+        }
+    }
+
+    /// Makes `page` writable (creating a twin on the transition), or
+    /// reports what must be fetched first.
+    ///
+    /// # Errors
+    ///
+    /// Returns outstanding [`Demand`]s if remote data is required.
+    pub fn ensure_writable(&mut self, page: PageId) -> Result<(), Vec<Demand>> {
+        self.ensure_readable(page)?;
+        let meta = &mut self.pages[page as usize];
+        if meta.state == PageState::ReadOnly {
+            // Software write fault: make the twin, write-enable the page.
+            meta.twin = Some(meta.data.clone());
+            meta.state = PageState::ReadWrite;
+            self.dirty.insert(page);
+            self.stats.write_faults += 1;
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Intervals and write notices.
+    // ------------------------------------------------------------------
+
+    /// Closes the current interval if any page was modified in it; called
+    /// at every release and acquire endpoint.
+    ///
+    /// The closing interval receives a write notice for every page dirtied
+    /// since the previous close. Pages stay write-enabled with their twins
+    /// intact — diffing is lazy — so writes that land on a still-unprotected
+    /// page after the close are folded, undetected, into the earlier
+    /// interval's eventual diff, exactly as in TreadMarks (safe for
+    /// data-race-free programs).
+    pub fn close_interval(&mut self) -> Option<IntervalRecord> {
+        if self.dirty.is_empty() {
+            return None;
+        }
+        let idx = self.vt.bump(self.node);
+        let pages: Vec<PageId> = std::mem::take(&mut self.dirty).into_iter().collect();
+        for &p in &pages {
+            let meta = &mut self.pages[p as usize];
+            meta.max_notice.set(self.node, idx);
+            // Our own data always reflects our own writes.
+            meta.applied.set(self.node, idx);
+        }
+        let rec = IntervalRecord {
+            node: self.node,
+            index: idx,
+            vc: self.vt.clone(),
+            pages,
+        };
+        self.intervals.insert(rec.clone());
+        self.stats.intervals_created += 1;
+        // Eager per-interval diffing: capture each announced page's
+        // modifications now, so every diff record covers exactly one
+        // interval and carries that interval's timestamp. Records that
+        // merge several intervals under one capture-time timestamp cannot
+        // be ordered correctly against concurrent writers — a byte written
+        // in an early interval would sort by the late timestamp and could
+        // overwrite a causally-later write from another node.
+        for &p in &rec.pages {
+            self.capture_own_diff(p);
+        }
+        Some(rec)
+    }
+
+    /// Interval records a receiver whose state is `have` still needs —
+    /// the consistency payload of a RELEASE message.
+    #[must_use]
+    pub fn records_newer_than(&self, have: &Vc) -> Vec<IntervalRecord> {
+        self.intervals.newer_than(have)
+    }
+
+    /// Own interval records newer than `have` — the RELEASE_NT payload.
+    #[must_use]
+    pub fn own_records_newer_than(&self, have: &Vc) -> Vec<IntervalRecord> {
+        self.intervals.own_newer_than(self.node, have)
+    }
+
+    /// Records between `have` (exclusive) and `through` (inclusive), used
+    /// to repair inadequate consistency information after a forwarded or
+    /// non-transitive message.
+    #[must_use]
+    pub fn records_between(&self, have: &Vc, through: &Vc) -> Vec<IntervalRecord> {
+        self.intervals.newer_than_bounded(have, through)
+    }
+
+    /// Applies a batch of interval records (the acquire side of a RELEASE).
+    ///
+    /// Records are applied per creator in index order; a record whose index
+    /// is not the next expected one for its creator is skipped (the caller
+    /// detects the remaining gap by comparing [`LrcEngine::vt`] with the
+    /// message's required timestamp and requests the missing records).
+    /// Returns the number of records applied.
+    pub fn apply_records(&mut self, mut records: Vec<IntervalRecord>) -> usize {
+        records.sort_by_key(|r| (r.node, r.index));
+        let mut applied = 0;
+        for rec in records {
+            if rec.node == self.node || rec.index <= self.vt.get(rec.node) {
+                continue; // Own or already-seen interval.
+            }
+            if rec.index != self.vt.get(rec.node) + 1 {
+                continue; // Gap: cannot apply out of order.
+            }
+            self.apply_one(rec);
+            applied += 1;
+        }
+        applied
+    }
+
+    fn apply_one(&mut self, rec: IntervalRecord) {
+        self.vt.set(rec.node, rec.index);
+        for &p in &rec.pages {
+            self.stats.notices_applied += 1;
+            if rec.index <= self.pages[p as usize].applied.get(rec.node) {
+                // Already covered (e.g. by a merged diff or page install).
+                let meta = &mut self.pages[p as usize];
+                let cur = meta.max_notice.get(rec.node);
+                meta.max_notice.set(rec.node, cur.max(rec.index));
+                continue;
+            }
+            if trace_page() == Some(p) {
+                eprintln!(
+                    "LRC[{}] notice page {p} from ({},{}) state={:?} applied={:?}",
+                    self.node, rec.node, rec.index, self.pages[p as usize].state,
+                    self.pages[p as usize].applied
+                );
+            }
+            // A notice hitting a locally write-enabled page means concurrent
+            // writers (data-race-free programs touch disjoint bytes). The
+            // twin survives the invalidation: it holds only modifications of
+            // the still-open local interval, which will be announced and
+            // captured at the next close; fetched diffs are applied to both
+            // the data and the twin, keeping the twin a faithful pre-local-
+            // writes base.
+            let meta = &mut self.pages[p as usize];
+            let cur = meta.max_notice.get(rec.node);
+            meta.max_notice.set(rec.node, cur.max(rec.index));
+            match meta.state {
+                PageState::Missing => {}
+                _ => meta.state = PageState::Invalid,
+            }
+        }
+        self.intervals.insert(rec);
+    }
+
+    // ------------------------------------------------------------------
+    // Diffs.
+    // ------------------------------------------------------------------
+
+    /// Captures this node's modifications to `page` for the just-closed
+    /// interval into a stored diff record, drops the twin, and re-protects
+    /// the page. Called from [`LrcEngine::close_interval`] for every page
+    /// the closing interval announces, so each record covers exactly one
+    /// interval and carries its timestamp (sound causal ordering).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page has no twin (an internal invariant).
+    fn capture_own_diff(&mut self, page: PageId) {
+        if trace_page() == Some(page) {
+            let o = trace_off();
+            let v = u32::from_le_bytes(
+                self.pages[page as usize].data[o..o + 4]
+                    .try_into()
+                    .expect("trace offset"),
+            );
+            eprintln!(
+                "LRC[{}] capture page {page} own_covered={} vt={:?} val@{o}={v}",
+                self.node, self.pages[page as usize].own_covered, self.vt
+            );
+        }
+        let idx = self.vt.get(self.node);
+        let meta = &mut self.pages[page as usize];
+        let twin = meta.twin.take().expect("capture_own_diff without twin");
+        let diff = Diff::create(&twin, &meta.data);
+        meta.own_covered = idx;
+        meta.state = if meta.up_to_date() {
+            PageState::ReadOnly
+        } else {
+            PageState::Invalid
+        };
+        let rec = DiffRecord {
+            node: self.node,
+            page,
+            first: idx,
+            last: idx,
+            vc: self.vt.clone(),
+            diff,
+        };
+        self.diffs.entry((self.node, page)).or_default().push(rec);
+        self.stats.diffs_created += 1;
+    }
+
+    /// True when every *individual* write notice known for `page` is either
+    /// already applied or covered by one of the claimed (buffered, not yet
+    /// applied) diff records.
+    ///
+    /// The check is exact, not a per-node maximum: diffs attached to
+    /// releases under the update strategy arrive one interval at a time,
+    /// so a buffer can hold a creator's interval 41 without its interval
+    /// 40 — a max-based check would pass, the batch would apply, the
+    /// scalar `applied` would jump past 40, and interval 40's diff would
+    /// be duplicate-skipped forever. The interval store knows exactly
+    /// which of the creator's intervals named this page, so each one is
+    /// verified individually.
+    ///
+    /// The messaging layer uses this to hold buffered diffs until a
+    /// complete, causally sortable batch is present — applying partial
+    /// batches could order a causally later record before an earlier one
+    /// arriving in a later round.
+    #[must_use]
+    pub fn covers_with_claims(&self, page: PageId, claims: &[DiffRecord]) -> bool {
+        let meta = &self.pages[page as usize];
+        for (q, have) in meta.applied.iter() {
+            if q == self.node {
+                continue;
+            }
+            let want = meta.max_notice.get(q);
+            for i in have + 1..=want {
+                let names_page = match self.intervals.get(q, i) {
+                    Some(rec) => rec.pages.contains(&page),
+                    // No record for a known notice index: only possible for
+                    // coverage learned wholesale from a page install, whose
+                    // applied/max_notice components move together — treat
+                    // conservatively as incomplete.
+                    None => return false,
+                };
+                if names_page
+                    && !claims
+                        .iter()
+                        .any(|r| r.node == q && r.first <= i && i <= r.last)
+                {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// The demands needed to make a faulted page accessible.
+    #[must_use]
+    pub fn fault_demands(&self, page: PageId) -> Vec<Demand> {
+        let meta = &self.pages[page as usize];
+        match meta.state {
+            PageState::Missing => vec![Demand::Page {
+                to: self.owner_of(page),
+                page,
+            }],
+            PageState::Invalid => {
+                let mut demands = Vec::new();
+                for (q, have) in meta.applied.iter() {
+                    if q == self.node {
+                        continue;
+                    }
+                    let want = meta.max_notice.get(q);
+                    if want > have {
+                        demands.push(Demand::Diffs {
+                            to: q,
+                            page,
+                            after: have,
+                            through: want,
+                        });
+                    }
+                }
+                demands
+            }
+            PageState::ReadOnly | PageState::ReadWrite => Vec::new(),
+        }
+    }
+
+    /// Serves a diff request: returns this node's diff records for `page`
+    /// covering its intervals in `(after, through]`. With eager per-
+    /// interval capture, every announced interval's diff already exists.
+    pub fn serve_diffs(&mut self, page: PageId, after: u32, through: u32) -> Vec<DiffRecord> {
+        debug_assert!(
+            self.pages[page as usize].own_covered >= through.min(self.vt.get(self.node)),
+            "diff request beyond materialized coverage"
+        );
+        self.diffs
+            .get(&(self.node, page))
+            .map(|recs| {
+                recs.iter()
+                    .filter(|r| r.last > after && r.first <= through)
+                    .cloned()
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Applies fetched diff records to `page` in causal order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page has no local copy, or if a record leaves a gap in
+    /// its creator's interval coverage (a protocol violation upstream).
+    pub fn apply_diff_records(&mut self, page: PageId, mut records: Vec<DiffRecord>) {
+        assert!(
+            self.pages[page as usize].state != PageState::Missing,
+            "applying diffs to a missing page"
+        );
+        sort_causally(&mut records);
+        for rec in records {
+            assert_eq!(rec.page, page, "diff record for a different page");
+            if trace_page() == Some(page) {
+                eprintln!(
+                    "LRC[{}] apply page {page} rec({}, {}..={}, vc={:?}, {} runs) have={}",
+                    self.node,
+                    rec.node,
+                    rec.first,
+                    rec.last,
+                    rec.vc,
+                    rec.diff.runs.len(),
+                    self.pages[page as usize].applied.get(rec.node)
+                );
+            }
+            let meta = &mut self.pages[page as usize];
+            let have = meta.applied.get(rec.node);
+            if rec.last <= have {
+                continue; // Duplicate coverage.
+            }
+            // Per-interval records are sparse: a page has records only for
+            // the creator's intervals that modified it, so `rec.first` may
+            // jump past `have`. Completeness is guaranteed upstream: write
+            // notices arrive gap-free per creator, fault demands span
+            // `(applied, max_notice]`, and the serving node returns every
+            // record in that range.
+            rec.diff.apply(&mut meta.data);
+            if trace_page() == Some(page) {
+                let o = trace_off();
+                let v = u32::from_le_bytes(meta.data[o..o + 4].try_into().expect("trace offset"));
+                let touched = rec
+                    .diff
+                    .runs
+                    .iter()
+                    .any(|r| (r.offset as usize) <= o && r.offset as usize + r.data.len() > o);
+                eprintln!(
+                    "LRC[{}]   after rec({},{}..={}): val@{o}={v} touched={touched}",
+                    self.node, rec.node, rec.first, rec.last
+                );
+            }
+            // A surviving twin holds only the still-open local interval's
+            // writes; fetched diffs are from concurrent writers (disjoint
+            // bytes in a data-race-free program) or causal predecessors.
+            // Applying them to the twin as well keeps the twin a faithful
+            // "page without my open writes" base, so the next capture
+            // contains only this node's own modifications.
+            if let Some(twin) = &mut meta.twin {
+                rec.diff.apply(twin);
+            }
+            meta.applied.set(rec.node, rec.last);
+            let cur = meta.max_notice.get(rec.node);
+            meta.max_notice.set(rec.node, cur.max(rec.last));
+            self.stats.diffs_applied += 1;
+            // Keep the fetched record (GC pressure, as in TreadMarks).
+            self.diffs.entry((rec.node, page)).or_default().push(rec);
+        }
+        let meta = &mut self.pages[page as usize];
+        if meta.state == PageState::Invalid && meta.up_to_date() {
+            meta.state = if meta.twin.is_some() {
+                PageState::ReadWrite
+            } else {
+                PageState::ReadOnly
+            };
+        }
+    }
+
+    /// Returns this node's stored diff record (if any) covering `index` of
+    /// `node`'s intervals for `page` — used by the update strategy to ship
+    /// diffs together with the write notices that describe them.
+    #[must_use]
+    pub fn stored_diff(&self, node: u32, page: PageId, index: u32) -> Option<&DiffRecord> {
+        self.diffs
+            .get(&(node, page))
+            .and_then(|recs| recs.iter().find(|r| r.first <= index && index <= r.last))
+    }
+
+    /// Serves a full-page request: the current copy plus the applied vector
+    /// describing exactly which modifications it reflects.
+    ///
+    /// With eager per-interval capture, a live twin holds only the
+    /// still-open interval's local writes; the served data may include
+    /// them (safe: they will be announced by the next close, and the
+    /// receiver's applied vector does not claim them).
+    ///
+    /// # Panics
+    ///
+    /// Panics if this node has no copy (only owners are asked, and owners
+    /// pin their copies).
+    #[must_use]
+    pub fn serve_page(&mut self, page: PageId) -> (Vec<u8>, Vc) {
+        assert!(
+            self.pages[page as usize].state != PageState::Missing,
+            "page request hit a node without a copy"
+        );
+        let meta = &self.pages[page as usize];
+        (meta.data.clone(), meta.applied.clone())
+    }
+
+    /// Installs a fetched page copy. The page becomes valid if the carried
+    /// applied-vector covers every write notice known locally; otherwise it
+    /// is invalid and diff demands follow.
+    pub fn install_page(&mut self, page: PageId, data: Vec<u8>, applied: Vc) -> bool {
+        if trace_page() == Some(page) {
+            let o = trace_off();
+            let v = u32::from_le_bytes(data[o..o + 4].try_into().expect("trace offset"));
+            eprintln!(
+                "LRC[{}] install page {page} applied={applied:?} val@{o}={v}",
+                self.node
+            );
+        }
+        let meta = &mut self.pages[page as usize];
+        assert_eq!(data.len(), self.cfg.page_size, "bad page size in install");
+        // Replacement must not roll the copy backwards: only accept data
+        // covering at least what is already applied locally. (A copy may
+        // replace an existing one — the TreadMarks heuristic ships a whole
+        // page when the pending diff chain outgrows it.)
+        if meta.state != PageState::Missing && !applied.dominates(&meta.applied) {
+            // Stale copy (the server lagged); keep ours — the caller falls
+            // back to plain diffs.
+            return false;
+        }
+        // Local open-interval writes survive a replacement: the local diff
+        // (twin versus data) is recomputed on top of the new base, sound
+        // because concurrent writers touch disjoint bytes in a
+        // data-race-free program.
+        if let Some(twin) = meta.twin.take() {
+            let own = Diff::create(&twin, &meta.data);
+            meta.data = data.clone();
+            own.apply(&mut meta.data);
+            meta.twin = Some(data);
+        } else {
+            meta.data = data;
+        }
+        meta.applied.join(&applied);
+        // The copy reflects at least those modifications; record them as
+        // known notices so bookkeeping stays monotone.
+        meta.max_notice.join(&applied);
+        meta.state = if meta.up_to_date() {
+            if meta.twin.is_some() {
+                PageState::ReadWrite
+            } else {
+                PageState::ReadOnly
+            }
+        } else {
+            PageState::Invalid
+        };
+        self.stats.pages_installed += 1;
+        true
+    }
+
+    // ------------------------------------------------------------------
+    // Garbage collection of consistency records.
+    // ------------------------------------------------------------------
+
+    /// Number of stored consistency records (intervals + diffs); the GC
+    /// pressure metric.
+    #[must_use]
+    pub fn record_count(&self) -> usize {
+        self.intervals.len() + self.diffs.values().map(Vec::len).sum::<usize>()
+    }
+
+    /// True when this node's stored records exceed the configured GC
+    /// threshold and a global garbage collection should be initiated.
+    #[must_use]
+    pub fn gc_needed(&self) -> bool {
+        self.record_count() > self.cfg.gc_threshold_records
+    }
+
+    /// Demands required to validate every invalid page — phase two of a
+    /// global GC (after the cluster has equalized vector timestamps).
+    #[must_use]
+    pub fn gc_validate_demands(&self) -> Vec<Demand> {
+        let mut out = Vec::new();
+        for p in 0..self.pages.len() as PageId {
+            if self.pages[p as usize].state == PageState::Invalid {
+                out.extend(self.fault_demands(p));
+            }
+        }
+        out
+    }
+
+    /// Discards all interval and diff records — the final phase of a global
+    /// GC. Callers must have ensured (a) all nodes hold identical vector
+    /// timestamps and (b) every non-missing page is valid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an invalid page remains (the caller skipped validation).
+    pub fn gc_discard(&mut self) {
+        for (p, meta) in self.pages.iter_mut().enumerate() {
+            match meta.state {
+                PageState::Invalid => {
+                    panic!("gc_discard with invalid page {p}; validate first")
+                }
+                PageState::Missing => {
+                    meta.applied = Vc::new(self.cfg.n_nodes);
+                    meta.max_notice = Vc::new(self.cfg.n_nodes);
+                    meta.own_covered = 0;
+                }
+                PageState::ReadOnly | PageState::ReadWrite => {
+                    // Everything announced is covered everywhere; intervals
+                    // without notices for this page vacuously count.
+                    meta.applied = self.vt.clone();
+                    meta.max_notice = self.vt.clone();
+                    meta.own_covered = self.vt.get(self.node);
+                }
+            }
+        }
+        self.intervals.clear();
+        self.diffs.clear();
+        self.stats.gcs += 1;
+    }
+}

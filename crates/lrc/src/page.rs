@@ -1,0 +1,123 @@
+//! The software page table.
+//!
+//! The paper detects modifications with `mprotect` and a `SIGSEGV` handler.
+//! This reproduction substitutes a software page table: every shared-memory
+//! access goes through the engine, which checks the page state and runs the
+//! identical fault paths (twin creation on write faults; diff/page fetches
+//! on access to invalid pages). See `DESIGN.md` §1 for the substitution
+//! rationale.
+
+use crate::vc::Vc;
+
+/// Page identifier within the coherent region (0-based, dense).
+pub type PageId = u32;
+
+/// Access state of one page on one node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageState {
+    /// No local copy of the data: a full page must be fetched.
+    Missing,
+    /// A local copy exists but remote write notices have not been applied;
+    /// the missing diffs must be fetched before any access.
+    Invalid,
+    /// Clean and protected: reads proceed, the first write faults and
+    /// creates a twin.
+    ReadOnly,
+    /// Write-enabled with a twin recording the pre-modification contents.
+    ReadWrite,
+}
+
+/// Per-node, per-page protocol bookkeeping.
+#[derive(Debug, Clone)]
+pub struct PageMeta {
+    /// Current access state.
+    pub state: PageState,
+    /// Local copy of the page contents (empty iff `Missing`).
+    pub data: Vec<u8>,
+    /// Pre-modification copy, present iff `ReadWrite`.
+    pub twin: Option<Vec<u8>>,
+    /// `applied[q]` = highest interval index of node `q` whose modifications
+    /// to this page are reflected in `data`.
+    pub applied: Vc,
+    /// `max_notice[q]` = highest interval index of node `q` for which a
+    /// write notice naming this page has been seen. The page is up to date
+    /// when `applied` dominates `max_notice`.
+    pub max_notice: Vc,
+    /// Highest *own* interval index whose modifications to this page have
+    /// been captured in a created diff. Own modifications newer than this
+    /// live only in the twin/data pair.
+    pub own_covered: u32,
+}
+
+impl PageMeta {
+    /// A page with no local copy.
+    #[must_use]
+    pub fn missing(n_nodes: usize) -> Self {
+        Self {
+            state: PageState::Missing,
+            data: Vec::new(),
+            twin: None,
+            applied: Vc::new(n_nodes),
+            max_notice: Vc::new(n_nodes),
+            own_covered: 0,
+        }
+    }
+
+    /// A valid zero-filled page (the initial state on the page's owner).
+    #[must_use]
+    pub fn zeroed(n_nodes: usize, page_size: usize) -> Self {
+        Self {
+            state: PageState::ReadOnly,
+            data: vec![0; page_size],
+            twin: None,
+            applied: Vc::new(n_nodes),
+            max_notice: Vc::new(n_nodes),
+            own_covered: 0,
+        }
+    }
+
+    /// True when every known write notice has been applied to `data`.
+    #[must_use]
+    pub fn up_to_date(&self) -> bool {
+        self.applied.dominates(&self.max_notice)
+    }
+
+    /// True when the page holds local modifications not yet captured in a
+    /// diff (i.e. a twin exists).
+    #[must_use]
+    pub fn dirty(&self) -> bool {
+        self.twin.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn missing_page_has_no_data() {
+        let p = PageMeta::missing(3);
+        assert_eq!(p.state, PageState::Missing);
+        assert!(p.data.is_empty());
+        assert!(!p.dirty());
+        assert!(p.up_to_date());
+    }
+
+    #[test]
+    fn zeroed_page_is_readonly() {
+        let p = PageMeta::zeroed(2, 128);
+        assert_eq!(p.state, PageState::ReadOnly);
+        assert_eq!(p.data.len(), 128);
+        assert!(p.data.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn up_to_date_tracks_notices() {
+        let mut p = PageMeta::zeroed(2, 16);
+        assert!(p.up_to_date());
+        p.max_notice.set(1, 3);
+        assert!(!p.up_to_date());
+        p.applied.set(1, 3);
+        assert!(p.up_to_date());
+    }
+}

@@ -1,0 +1,207 @@
+//! Vector timestamps.
+//!
+//! "The memory-consistency state of each node is summarized by a vector
+//! timestamp, each element of which is the index of the most recently seen
+//! interval from the corresponding node" (§4.2).
+
+use carlos_util::codec::{DecodeError, Decoder, Encoder, Wire};
+
+/// A vector timestamp over a fixed-size cluster.
+///
+/// Element `i` is the index of the most recent interval of node `i` that
+/// this timestamp covers. Interval indices start at 1; 0 means "none seen".
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Vc(Vec<u32>);
+
+impl Vc {
+    /// The zero timestamp for an `n`-node cluster.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        Self(vec![0; n])
+    }
+
+    /// Number of nodes this timestamp covers.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when the cluster size is zero (degenerate).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The component for `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[must_use]
+    pub fn get(&self, node: u32) -> u32 {
+        self.0[node as usize]
+    }
+
+    /// Sets the component for `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn set(&mut self, node: u32, v: u32) {
+        self.0[node as usize] = v;
+    }
+
+    /// Increments the component for `node` and returns the new value.
+    pub fn bump(&mut self, node: u32) -> u32 {
+        self.0[node as usize] += 1;
+        self.0[node as usize]
+    }
+
+    /// True if `self` is pointwise `>= other` (i.e. `self` covers `other`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    #[must_use]
+    pub fn dominates(&self, other: &Vc) -> bool {
+        assert_eq!(self.len(), other.len(), "vector timestamp size mismatch");
+        self.0.iter().zip(&other.0).all(|(a, b)| a >= b)
+    }
+
+    /// True if `self` and `other` are ordered neither way (concurrent).
+    #[must_use]
+    pub fn concurrent(&self, other: &Vc) -> bool {
+        !self.dominates(other) && !other.dominates(self)
+    }
+
+    /// Pointwise maximum: after this call `self` covers both inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn join(&mut self, other: &Vc) {
+        assert_eq!(self.len(), other.len(), "vector timestamp size mismatch");
+        for (a, b) in self.0.iter_mut().zip(&other.0) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    /// Sum of all components. Sorting records by this value is a valid
+    /// linear extension of the happened-before partial order, which is how
+    /// diffs from multiple writers are ordered before application.
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.0.iter().map(|&v| u64::from(v)).sum()
+    }
+
+    /// Iterates `(node, component)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.0.iter().enumerate().map(|(n, &v)| (n as u32, v))
+    }
+}
+
+impl Wire for Vc {
+    fn encode(&self, enc: &mut Encoder) {
+        // The paper notes the timestamp costs "two bytes per node" on the
+        // wire (§5.4); we use u16 components in the encoding to match, with
+        // a saturation guard for pathological runs.
+        enc.put_u16(self.0.len() as u16);
+        for &v in &self.0 {
+            enc.put_u16(u16::try_from(v).unwrap_or(u16::MAX));
+        }
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, DecodeError> {
+        let n = dec.get_u16()? as usize;
+        let mut v = Vec::with_capacity(n);
+        for _ in 0..n {
+            v.push(u32::from(dec.get_u16()?));
+        }
+        Ok(Self(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_is_zero() {
+        let vc = Vc::new(3);
+        assert_eq!(vc.len(), 3);
+        assert_eq!(vc.get(0), 0);
+        assert_eq!(vc.sum(), 0);
+    }
+
+    #[test]
+    fn bump_and_get() {
+        let mut vc = Vc::new(2);
+        assert_eq!(vc.bump(1), 1);
+        assert_eq!(vc.bump(1), 2);
+        assert_eq!(vc.get(1), 2);
+        assert_eq!(vc.get(0), 0);
+    }
+
+    #[test]
+    fn dominates_is_pointwise() {
+        let mut a = Vc::new(3);
+        let mut b = Vc::new(3);
+        assert!(a.dominates(&b) && b.dominates(&a));
+        a.set(0, 2);
+        assert!(a.dominates(&b) && !b.dominates(&a));
+        b.set(1, 1);
+        assert!(!a.dominates(&b) && !b.dominates(&a));
+        assert!(a.concurrent(&b));
+    }
+
+    #[test]
+    fn join_takes_pointwise_max() {
+        let mut a = Vc::new(3);
+        a.set(0, 5);
+        a.set(2, 1);
+        let mut b = Vc::new(3);
+        b.set(0, 3);
+        b.set(1, 7);
+        a.join(&b);
+        assert_eq!(a.get(0), 5);
+        assert_eq!(a.get(1), 7);
+        assert_eq!(a.get(2), 1);
+        assert!(a.dominates(&b));
+    }
+
+    #[test]
+    fn sum_is_linear_extension_witness() {
+        // If a < b pointwise (and somewhere strictly), sum(a) < sum(b).
+        let mut a = Vc::new(2);
+        a.set(0, 1);
+        let mut b = a.clone();
+        b.set(1, 3);
+        assert!(b.dominates(&a) && !a.dominates(&b));
+        assert!(a.sum() < b.sum());
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let mut vc = Vc::new(4);
+        vc.set(0, 1);
+        vc.set(3, 65535);
+        let back = Vc::from_wire(&vc.to_wire()).unwrap();
+        assert_eq!(back, vc);
+        // Two bytes per node plus the two-byte count, as §5.4 describes.
+        assert_eq!(vc.wire_size(), 2 + 4 * 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn dominates_rejects_size_mismatch() {
+        let _ = Vc::new(2).dominates(&Vc::new(3));
+    }
+
+    #[test]
+    fn iter_yields_components() {
+        let mut vc = Vc::new(2);
+        vc.set(1, 9);
+        let v: Vec<(u32, u32)> = vc.iter().collect();
+        assert_eq!(v, vec![(0, 0), (1, 9)]);
+    }
+}

@@ -1,0 +1,172 @@
+//! Property-based tests for the LRC substrate.
+
+use carlos_lrc::{Demand, Diff, LrcConfig, LrcEngine, Vc};
+use carlos_util::codec::Wire;
+use proptest::prelude::*;
+
+fn satisfy(engines: &mut [LrcEngine], node: usize, demands: Vec<Demand>) {
+    for d in demands {
+        match d {
+            Demand::Diffs {
+                to,
+                page,
+                after,
+                through,
+            } => {
+                let recs = engines[to as usize].serve_diffs(page, after, through);
+                engines[node].apply_diff_records(page, recs);
+            }
+            Demand::Page { to, page } => {
+                let (data, applied) = engines[to as usize].serve_page(page);
+                engines[node].install_page(page, data, applied);
+            }
+        }
+    }
+}
+
+fn resolve_write(engines: &mut [LrcEngine], node: usize, addr: usize, data: &[u8]) {
+    loop {
+        match engines[node].write(addr, data) {
+            Ok(()) => return,
+            Err(d) => satisfy(engines, node, d),
+        }
+    }
+}
+
+fn resolve_read(engines: &mut [LrcEngine], node: usize, addr: usize, buf: &mut [u8]) {
+    loop {
+        match engines[node].read(addr, buf) {
+            Ok(()) => return,
+            Err(d) => satisfy(engines, node, d),
+        }
+    }
+}
+
+fn sync_release(engines: &mut [LrcEngine], from: usize, to: usize) {
+    engines[from].close_interval();
+    let have = engines[to].vt().clone();
+    let records = engines[from].records_newer_than(&have);
+    engines[to].close_interval();
+    engines[to].apply_records(records);
+}
+
+proptest! {
+    #[test]
+    fn diff_roundtrip(twin in proptest::collection::vec(any::<u8>(), 128),
+                      edits in proptest::collection::vec((0usize..128, any::<u8>()), 0..40)) {
+        let mut cur = twin.clone();
+        for (i, v) in edits {
+            cur[i] = v;
+        }
+        let d = Diff::create(&twin, &cur);
+        let mut rebuilt = twin.clone();
+        d.apply(&mut rebuilt);
+        prop_assert_eq!(rebuilt, cur);
+        // Modified byte count never exceeds the edit count upper bound.
+        prop_assert!(d.modified_bytes() <= 128);
+    }
+
+    #[test]
+    fn diff_wire_roundtrip(twin in proptest::collection::vec(any::<u8>(), 64),
+                           edits in proptest::collection::vec((0usize..64, any::<u8>()), 0..20)) {
+        let mut cur = twin.clone();
+        for (i, v) in edits {
+            cur[i] = v;
+        }
+        let d = Diff::create(&twin, &cur);
+        let back = Diff::from_wire(&d.to_wire()).unwrap();
+        prop_assert_eq!(back, d);
+    }
+
+    #[test]
+    fn vc_lattice_laws(a in proptest::collection::vec(0u32..100, 4),
+                       b in proptest::collection::vec(0u32..100, 4)) {
+        let mut va = Vc::new(4);
+        let mut vb = Vc::new(4);
+        for i in 0..4 {
+            va.set(i as u32, a[i]);
+            vb.set(i as u32, b[i]);
+        }
+        // Join is an upper bound of both.
+        let mut j = va.clone();
+        j.join(&vb);
+        prop_assert!(j.dominates(&va));
+        prop_assert!(j.dominates(&vb));
+        // Join is commutative.
+        let mut j2 = vb.clone();
+        j2.join(&va);
+        prop_assert_eq!(&j, &j2);
+        // Join is idempotent.
+        let mut j3 = j.clone();
+        j3.join(&j);
+        prop_assert_eq!(&j3, &j);
+        // Domination is antisymmetric up to equality.
+        if va.dominates(&vb) && vb.dominates(&va) {
+            prop_assert_eq!(&va, &vb);
+        }
+        // sum() is a monotone witness.
+        if va.dominates(&vb) {
+            prop_assert!(va.sum() >= vb.sum());
+        }
+    }
+
+    /// Data-race-free fuzz: each node owns a disjoint byte range and writes
+    /// random values into it with random interleavings of release pairs.
+    /// After a closing all-to-all synchronization, every node must read
+    /// every writer's final values.
+    #[test]
+    fn drf_runs_converge(ops in proptest::collection::vec((0usize..3, 0usize..48, any::<u8>(), 0usize..3), 1..60)) {
+        let n = 3usize;
+        let cfg = LrcConfig::small_test(n);
+        let region = cfg.region_bytes;
+        let slice = region / n;
+        let mut engines: Vec<LrcEngine> =
+            (0..n as u32).map(|i| LrcEngine::new(i, cfg.clone())).collect();
+        let mut expected = vec![0u8; region];
+
+        for (node, off, val, peer) in ops {
+            let addr = node * slice + (off % slice);
+            resolve_write(&mut engines, node, addr, &[val]);
+            expected[addr] = val;
+            if peer != node {
+                sync_release(&mut engines, node, peer);
+            }
+        }
+        // Closing synchronization: two all-to-all rounds make everyone
+        // cover everyone (round one may create new intervals on acquirers).
+        for _round in 0..2 {
+            for a in 0..n {
+                for b in 0..n {
+                    if a != b {
+                        sync_release(&mut engines, a, b);
+                    }
+                }
+            }
+        }
+        for node in 0..n {
+            let mut buf = vec![0u8; region];
+            resolve_read(&mut engines, node, 0, &mut buf);
+            prop_assert_eq!(&buf, &expected, "node {} diverged", node);
+        }
+    }
+
+    /// The release/acquire pair always leaves the acquirer's timestamp
+    /// covering the releaser's, regardless of history.
+    #[test]
+    fn release_always_covers(ops in proptest::collection::vec((0usize..3, 0usize..3, 0usize..64, any::<u8>()), 1..40)) {
+        let n = 3usize;
+        let cfg = LrcConfig::small_test(n);
+        let mut engines: Vec<LrcEngine> =
+            (0..n as u32).map(|i| LrcEngine::new(i, cfg.clone())).collect();
+        for (from, to, addr_seed, val) in ops {
+            let slice = cfg.region_bytes / n;
+            let addr = from * slice + (addr_seed % slice);
+            resolve_write(&mut engines, from, addr, &[val]);
+            if from != to {
+                sync_release(&mut engines, from, to);
+                let vt_from = engines[from].vt().clone();
+                prop_assert!(engines[to].vt().dominates(&vt_from));
+            }
+        }
+    }
+}

@@ -1,0 +1,670 @@
+//! Public simulator API: [`Cluster`], [`NodeCtx`], and [`SimReport`].
+
+use std::{
+    panic::{catch_unwind, resume_unwind, AssertUnwindSafe},
+    sync::Arc,
+    thread::JoinHandle,
+};
+
+use parking_lot::{Condvar, Mutex, MutexGuard};
+
+use crate::{
+    config::SimConfig,
+    kernel::{EvKind, Kernel, ProcId, ProcState},
+    stats::{Bucket, Counters, NetStats, TimeBuckets},
+    time::{NodeId, Ns},
+};
+
+/// A datagram as seen by a receiving node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Datagram {
+    /// Sending node.
+    pub src: NodeId,
+    /// Payload bytes (transport headers included; wire frame headers not).
+    pub payload: Vec<u8>,
+    /// Virtual time at which the sender handed the datagram to the wire.
+    pub sent_at: Ns,
+}
+
+struct Shared {
+    kernel: Mutex<Kernel>,
+    runner_cv: Condvar,
+}
+
+/// A failure synthesized by the runner itself (deadlock, safety valve),
+/// as opposed to a panic propagated from proc code.
+struct SimFailure(String);
+
+/// A deterministic simulated cluster.
+///
+/// Create one, spawn a main proc per node with [`Cluster::spawn_node`], then
+/// call [`Cluster::run`], which drives the event loop to completion on the
+/// calling thread and returns a [`SimReport`].
+pub struct Cluster {
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+    n_nodes: usize,
+}
+
+impl Cluster {
+    /// Creates a cluster of `n_nodes` nodes (node ids `0..n_nodes`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_nodes == 0`.
+    #[must_use]
+    pub fn new(config: SimConfig, n_nodes: usize) -> Self {
+        assert!(n_nodes > 0, "a cluster needs at least one node");
+        Self {
+            shared: Arc::new(Shared {
+                kernel: Mutex::new(Kernel::new(config, n_nodes)),
+                runner_cv: Condvar::new(),
+            }),
+            threads: Vec::new(),
+            n_nodes,
+        }
+    }
+
+    /// Spawns the main proc of `node`, running `main` from virtual time 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn spawn_node(&mut self, node: NodeId, main: impl FnOnce(NodeCtx) + Send + 'static) {
+        assert!(
+            (node as usize) < self.n_nodes,
+            "node {node} out of range (cluster has {} nodes)",
+            self.n_nodes
+        );
+        let pid = self.register_proc(node, 0);
+        let ctx = NodeCtx {
+            shared: Arc::clone(&self.shared),
+            pid,
+            node,
+            n_nodes: self.n_nodes,
+        };
+        self.threads.push(spawn_proc_thread(ctx, main));
+    }
+
+    fn register_proc(&self, node: NodeId, start_at: Ns) -> ProcId {
+        let mut k = self.shared.kernel.lock();
+        let pid = k.procs.len();
+        k.procs.push(ProcState {
+            cv: Arc::new(Condvar::new()),
+            node,
+            parked: false,
+            runnable: false,
+            finished: false,
+            park_seq: 0,
+            waiting_for_msg: false,
+        });
+        k.live_procs += 1;
+        // The proc's initial park will use ticket 1.
+        k.push_event(start_at, EvKind::Wake { pid, seq: 1 });
+        pid
+    }
+
+    /// Runs the simulation to completion and returns the report.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises any panic from a proc (so test assertions inside node code
+    /// fail the test), and panics on deadlock (all procs parked with no
+    /// pending events) or when a configured safety valve trips.
+    pub fn run(mut self) -> SimReport {
+        let outcome = self.event_loop();
+        // Tear down: poison and wake every parked proc so threads exit.
+        {
+            let mut k = self.shared.kernel.lock();
+            k.poisoned = true;
+            for p in &k.procs {
+                if p.parked {
+                    p.cv.notify_one();
+                }
+            }
+        }
+        for t in self.threads.drain(..) {
+            // A proc that panicked already had its payload captured; the
+            // join error here is its secondary "poisoned" unwind at worst.
+            let _ = t.join();
+        }
+        match outcome {
+            Ok(report) => report,
+            Err(failure) => {
+                // Diagnostics synthesized by the runner (deadlock, safety
+                // valves) carry a SimFailure: re-panic with panic! so the
+                // message actually prints; proc panics already printed.
+                match failure.downcast::<SimFailure>() {
+                    Ok(diag) => panic!("{}", diag.0),
+                    Err(other) => resume_unwind(other),
+                }
+            }
+        }
+    }
+
+    fn event_loop(&mut self) -> Result<SimReport, Box<dyn std::any::Any + Send>> {
+        let shared = Arc::clone(&self.shared);
+        let mut k = shared.kernel.lock();
+        loop {
+            if let Some(p) = k.panic.take() {
+                return Err(p);
+            }
+            if k.live_procs == 0 {
+                return Ok(build_report(&k));
+            }
+            let Some(std::cmp::Reverse(ev)) = k.queue.pop() else {
+                let diag = deadlock_diagnostic(&k);
+                return Err(Box::new(SimFailure(format!("simulation deadlock: {diag}"))));
+            };
+            k.events_processed += 1;
+            if let Some(max) = k.config.max_events {
+                if k.events_processed > max {
+                    return Err(Box::new(SimFailure(format!(
+                        "simulation exceeded max_events = {max} (runaway protocol?)"
+                    ))));
+                }
+            }
+            debug_assert!(ev.time >= k.now, "event queue went backwards in time");
+            k.now = k.now.max(ev.time);
+            if let Some(max) = k.config.max_virtual_time {
+                if k.now > max {
+                    return Err(Box::new(SimFailure(format!(
+                        "simulation exceeded max_virtual_time = {max} ns"
+                    ))));
+                }
+            }
+            match ev.kind {
+                EvKind::Wake { pid, seq } => {
+                    // Wait for a freshly spawned proc to reach its first park.
+                    while !k.procs[pid].parked && !k.procs[pid].finished && k.procs[pid].park_seq < seq
+                    {
+                        shared.runner_cv.wait(&mut k);
+                    }
+                    let p = &mut k.procs[pid];
+                    if p.finished || !p.parked || p.park_seq != seq {
+                        continue; // Stale wake.
+                    }
+                    p.parked = false;
+                    p.runnable = true;
+                    p.waiting_for_msg = false;
+                    k.running = Some(pid);
+                    let cv = Arc::clone(&k.procs[pid].cv);
+                    cv.notify_one();
+                    while k.running.is_some() {
+                        shared.runner_cv.wait(&mut k);
+                    }
+                }
+                EvKind::Deliver { dst, dgram } => {
+                    k.nodes[dst as usize].mailbox.push_back(dgram);
+                    let now = k.now;
+                    let waiters: Vec<(ProcId, u64)> = k
+                        .procs
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, p)| p.node == dst && p.parked && p.waiting_for_msg)
+                        .map(|(pid, p)| (pid, p.park_seq))
+                        .collect();
+                    for (pid, seq) in waiters {
+                        k.push_event(now, EvKind::Wake { pid, seq });
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn deadlock_diagnostic(k: &Kernel) -> String {
+    let stuck: Vec<String> = k
+        .procs
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| !p.finished)
+        .map(|(pid, p)| {
+            format!(
+                "proc {pid} on node {} ({})",
+                p.node,
+                if p.waiting_for_msg {
+                    "waiting for a message"
+                } else {
+                    "parked"
+                }
+            )
+        })
+        .collect();
+    format!(
+        "no pending events at t = {} ns but {} procs alive: [{}]",
+        k.now,
+        stuck.len(),
+        stuck.join(", ")
+    )
+}
+
+fn build_report(k: &Kernel) -> SimReport {
+    SimReport {
+        elapsed: k.end_time,
+        node_buckets: k.nodes.iter().map(|n| n.buckets).collect(),
+        node_counters: k.nodes.iter().map(|n| n.counters.clone()).collect(),
+        net: k.net,
+        bandwidth_bps: k.config.bandwidth_bps,
+        events_processed: k.events_processed,
+    }
+}
+
+fn spawn_proc_thread(ctx: NodeCtx, main: impl FnOnce(NodeCtx) + Send + 'static) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(format!("sim-node-{}-proc-{}", ctx.node, ctx.pid))
+        .spawn(move || {
+            let shared = Arc::clone(&ctx.shared);
+            let pid = ctx.pid;
+            // Initial park: wait for the time-0 wake without owning the baton.
+            {
+                let mut k = shared.kernel.lock();
+                let p = &mut k.procs[pid];
+                p.parked = true;
+                p.park_seq += 1;
+                shared.runner_cv.notify_one();
+                let cv = Arc::clone(&k.procs[pid].cv);
+                while !k.procs[pid].runnable {
+                    if k.poisoned {
+                        // Teardown before we ever ran; just exit.
+                        k.procs[pid].finished = true;
+                        k.live_procs -= 1;
+                        return;
+                    }
+                    cv.wait(&mut k);
+                }
+                k.procs[pid].runnable = false;
+            }
+            let result = catch_unwind(AssertUnwindSafe(|| main(ctx)));
+            let mut k = shared.kernel.lock();
+            k.procs[pid].finished = true;
+            k.procs[pid].parked = false;
+            k.live_procs -= 1;
+            k.end_time = k.end_time.max(k.now);
+            if let Err(payload) = result {
+                if !is_poison_unwind(&payload) && k.panic.is_none() {
+                    k.panic = Some(payload);
+                }
+            }
+            if k.running == Some(pid) {
+                k.running = None;
+            }
+            shared.runner_cv.notify_one();
+        })
+        .expect("failed to spawn proc thread")
+}
+
+fn is_poison_unwind(payload: &Box<dyn std::any::Any + Send>) -> bool {
+    payload
+        .downcast_ref::<&'static str>()
+        .is_some_and(|s| *s == POISON_MSG)
+}
+
+const POISON_MSG: &str = "carlos-sim: run torn down while proc was parked";
+
+/// Handle through which simulated node code interacts with the cluster.
+///
+/// Cloneable; all clones refer to the same proc. Every method that charges
+/// time advances the virtual clock, so node code observes a consistent
+/// timeline through [`NodeCtx::now`].
+#[derive(Clone)]
+pub struct NodeCtx {
+    shared: Arc<Shared>,
+    pid: ProcId,
+    node: NodeId,
+    n_nodes: usize,
+}
+
+impl NodeCtx {
+    /// This proc's node id.
+    #[must_use]
+    pub fn node_id(&self) -> NodeId {
+        self.node
+    }
+
+    /// Number of nodes in the cluster.
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.n_nodes
+    }
+
+    /// Current virtual time.
+    #[must_use]
+    pub fn now(&self) -> Ns {
+        self.shared.kernel.lock().now
+    }
+
+    /// Charges `dt` of application computation (the `User` bucket) and
+    /// advances virtual time.
+    pub fn compute(&self, dt: Ns) {
+        self.charge(Bucket::User, dt);
+    }
+
+    /// Charges `dt` of CPU time to `bucket` and advances virtual time.
+    ///
+    /// When several user threads share the node, CPU time serializes: the
+    /// charge starts when the node CPU is free, and any wait for the CPU is
+    /// charged to `Idle`.
+    pub fn charge(&self, bucket: Bucket, dt: Ns) {
+        let mut k = self.shared.kernel.lock();
+        self.advance_locked(&mut k, bucket, dt);
+    }
+
+    /// Charges up to `dt` of CPU time to `bucket`, but returns early if a
+    /// datagram arrives at this node, modeling interrupt-driven message
+    /// handling during computation.
+    ///
+    /// Returns `Some(remaining)` when interrupted with `remaining > 0` time
+    /// still to charge (the mailbox is non-empty), `None` when the full
+    /// `dt` elapsed. Callers loop: handle the message, then continue with
+    /// the remainder.
+    pub fn compute_interruptible(&self, bucket: Bucket, dt: Ns) -> Option<Ns> {
+        let mut k = self.shared.kernel.lock();
+        if !k.nodes[self.node as usize].mailbox.is_empty() {
+            return Some(dt); // Pending work: handle it before computing.
+        }
+        let node = self.node as usize;
+        let start = k.now.max(k.nodes[node].cpu_free);
+        if start > k.now {
+            let gap = start - k.now;
+            k.nodes[node].buckets.charge(Bucket::Idle, gap);
+        }
+        let wake_at = start + dt;
+        if k.peek_time().is_none_or(|t| t >= wake_at) {
+            // Nothing can arrive before we finish; run to completion.
+            k.nodes[node].buckets.charge(bucket, dt);
+            k.nodes[node].cpu_free = wake_at;
+            k.now = wake_at;
+            return None;
+        }
+        k.procs[self.pid].waiting_for_msg = true;
+        self.park_until(&mut k, wake_at);
+        // Either the timer fired (now == wake_at) or a delivery woke us.
+        let ran = k.now.saturating_sub(start).min(dt);
+        k.nodes[node].buckets.charge(bucket, ran);
+        k.nodes[node].cpu_free = k.now.max(k.nodes[node].cpu_free);
+        if ran < dt && !k.nodes[node].mailbox.is_empty() {
+            Some(dt - ran)
+        } else if ran < dt {
+            // Spurious wake (e.g. stale timer): treat the gap as idle and
+            // report the remainder so the caller continues.
+            Some(dt - ran)
+        } else {
+            None
+        }
+    }
+
+    /// Sleeps for `dt` without using the CPU; the time is charged to `Idle`.
+    pub fn sleep(&self, dt: Ns) {
+        let mut k = self.shared.kernel.lock();
+        let wake_at = k.now + dt;
+        k.nodes[self.node as usize].buckets.charge(Bucket::Idle, dt);
+        self.park_until(&mut k, wake_at);
+    }
+
+    /// Adds `v` to this node's counter `name`.
+    pub fn count(&self, name: &'static str, v: u64) {
+        let mut k = self.shared.kernel.lock();
+        k.nodes[self.node as usize].counters.add(name, v);
+    }
+
+    /// Reads this node's counter `name`.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.shared.kernel.lock().nodes[self.node as usize]
+            .counters
+            .get(name)
+    }
+
+    /// Sends a datagram to `dst`.
+    ///
+    /// Charges the per-datagram send overhead to `Unix`, then occupies the
+    /// shared wire. Loopback (`dst == self`) skips the wire and is not
+    /// counted in network statistics. The call is asynchronous: it returns
+    /// once the local send processing is done, not when the datagram
+    /// arrives.
+    pub fn send_datagram(&self, dst: NodeId, payload: Vec<u8>) {
+        assert!(
+            (dst as usize) < self.n_nodes,
+            "datagram to unknown node {dst}"
+        );
+        let mut k = self.shared.kernel.lock();
+        let send_overhead = k.config.send_overhead;
+        self.advance_locked(&mut k, Bucket::Unix, send_overhead);
+        let now = k.now;
+        let dgram = Datagram {
+            src: self.node,
+            payload,
+            sent_at: now,
+        };
+        if dst == self.node {
+            k.nodes[self.node as usize].counters.add("net.loopback", 1);
+            k.push_event(now, EvKind::Deliver { dst, dgram });
+            return;
+        }
+        k.net.messages += 1;
+        k.net.payload_bytes += dgram.payload.len() as u64;
+        k.nodes[self.node as usize].counters.add("net.sent", 1);
+        k.nodes[self.node as usize]
+            .counters
+            .add("net.sent_bytes", dgram.payload.len() as u64);
+        if let Some(deliver_at) = k.wire_transmit(dgram.payload.len(), now) {
+            k.push_event(deliver_at, EvKind::Deliver { dst, dgram });
+        }
+    }
+
+    /// Pops the next mailbox datagram without blocking.
+    ///
+    /// Charges the per-datagram receive overhead (`Unix`) when a datagram is
+    /// returned.
+    pub fn try_recv(&self) -> Option<Datagram> {
+        let mut k = self.shared.kernel.lock();
+        let d = k.nodes[self.node as usize].mailbox.pop_front()?;
+        let recv_overhead = k.config.recv_overhead;
+        self.advance_locked(&mut k, Bucket::Unix, recv_overhead);
+        Some(d)
+    }
+
+    /// Blocks until a datagram arrives (or `deadline` passes), charging the
+    /// wait to `Idle` and the receive processing to `Unix`.
+    ///
+    /// Returns `None` on timeout. `deadline` is an absolute virtual time.
+    pub fn wait_recv(&self, deadline: Option<Ns>) -> Option<Datagram> {
+        let mut k = self.shared.kernel.lock();
+        loop {
+            if let Some(d) = k.nodes[self.node as usize].mailbox.pop_front() {
+                let recv_overhead = k.config.recv_overhead;
+                self.advance_locked(&mut k, Bucket::Unix, recv_overhead);
+                return Some(d);
+            }
+            if let Some(dl) = deadline {
+                if k.now >= dl {
+                    return None;
+                }
+            }
+            let park_start = k.now;
+            k.procs[self.pid].waiting_for_msg = true;
+            if let Some(dl) = deadline {
+                let seq = k.procs[self.pid].park_seq + 1;
+                k.push_event(dl, EvKind::Wake { pid: self.pid, seq });
+            }
+            self.park(&mut k);
+            let waited = k.now - park_start;
+            k.nodes[self.node as usize]
+                .buckets
+                .charge(Bucket::Idle, waited);
+        }
+    }
+
+    /// Parks until the node's mailbox is non-empty (or `deadline` passes)
+    /// **without consuming anything**. Returns whether the mailbox has a
+    /// datagram.
+    ///
+    /// This is the building block for multiple user threads sharing one
+    /// node runtime: a thread that finds nothing to do sleeps here, and any
+    /// delivery wakes every such thread so one of them can take the
+    /// runtime lock and process the message.
+    pub fn wait_mailbox(&self, deadline: Option<Ns>) -> bool {
+        let mut k = self.shared.kernel.lock();
+        loop {
+            if !k.nodes[self.node as usize].mailbox.is_empty() {
+                return true;
+            }
+            if let Some(dl) = deadline {
+                if k.now >= dl {
+                    return false;
+                }
+            }
+            let park_start = k.now;
+            k.procs[self.pid].waiting_for_msg = true;
+            if let Some(dl) = deadline {
+                let seq = k.procs[self.pid].park_seq + 1;
+                k.push_event(dl, EvKind::Wake { pid: self.pid, seq });
+            }
+            self.park(&mut k);
+            let waited = k.now - park_start;
+            k.nodes[self.node as usize]
+                .buckets
+                .charge(Bucket::Idle, waited);
+        }
+    }
+
+    /// Virtual time of the next pending mailbox datagram's arrival, if the
+    /// mailbox is non-empty (used by transports to decide whether to poll).
+    #[must_use]
+    pub fn mailbox_nonempty(&self) -> bool {
+        !self.shared.kernel.lock().nodes[self.node as usize]
+            .mailbox
+            .is_empty()
+    }
+
+    /// Spawns an additional user thread on this node, starting now.
+    ///
+    /// The new proc shares the node's mailbox, CPU, buckets, and counters.
+    /// This supports the paper's §4.4 user-level multithreading: while one
+    /// thread blocks on a remote operation, another can run (their CPU
+    /// charges serialize through the node's single simulated CPU).
+    pub fn spawn_thread(&self, f: impl FnOnce(NodeCtx) + Send + 'static) {
+        let pid = {
+            let mut k = self.shared.kernel.lock();
+            let pid = k.procs.len();
+            k.procs.push(ProcState {
+                cv: Arc::new(Condvar::new()),
+                node: self.node,
+                parked: false,
+                runnable: false,
+                finished: false,
+                park_seq: 0,
+                waiting_for_msg: false,
+            });
+            k.live_procs += 1;
+            let now = k.now;
+            k.push_event(now, EvKind::Wake { pid, seq: 1 });
+            pid
+        };
+        let ctx = NodeCtx {
+            shared: Arc::clone(&self.shared),
+            pid,
+            node: self.node,
+            n_nodes: self.n_nodes,
+        };
+        // The thread handle is detached; `run` joins only registered
+        // threads, but teardown poisons all procs, so the thread always
+        // exits. Detaching keeps `spawn_thread` usable from inside procs.
+        let _ = spawn_proc_thread(ctx, f);
+    }
+
+    /// Advances time by `dt` charged to `bucket`, serializing on the node
+    /// CPU. Fast-paths the common case where no other event intervenes.
+    fn advance_locked(&self, k: &mut MutexGuard<'_, Kernel>, bucket: Bucket, dt: Ns) {
+        let node = self.node as usize;
+        let start = k.now.max(k.nodes[node].cpu_free);
+        if start > k.now {
+            // Waited for the node CPU: that gap is idle time.
+            let gap = start - k.now;
+            k.nodes[node].buckets.charge(Bucket::Idle, gap);
+        }
+        let wake_at = start + dt;
+        k.nodes[node].buckets.charge(bucket, dt);
+        k.nodes[node].cpu_free = wake_at;
+        if k.peek_time().is_none_or(|t| t >= wake_at) {
+            // Nothing can observably interleave; advance the clock in place.
+            k.now = wake_at;
+            return;
+        }
+        self.park_until(k, wake_at);
+    }
+
+    /// Schedules a wake at `wake_at` and parks until it fires.
+    fn park_until(&self, k: &mut MutexGuard<'_, Kernel>, wake_at: Ns) {
+        let seq = k.procs[self.pid].park_seq + 1;
+        k.push_event(wake_at, EvKind::Wake { pid: self.pid, seq });
+        self.park(k);
+    }
+
+    /// Parks this proc: releases the baton and blocks until a wake event
+    /// hands it back.
+    fn park(&self, k: &mut MutexGuard<'_, Kernel>) {
+        let p = &mut k.procs[self.pid];
+        p.parked = true;
+        p.park_seq += 1;
+        k.running = None;
+        self.shared.runner_cv.notify_one();
+        let cv = Arc::clone(&k.procs[self.pid].cv);
+        while !k.procs[self.pid].runnable {
+            if k.poisoned {
+                panic!("{POISON_MSG}");
+            }
+            cv.wait(k);
+        }
+        k.procs[self.pid].runnable = false;
+        k.procs[self.pid].waiting_for_msg = false;
+    }
+}
+
+/// Results of a completed simulation.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Virtual time at which the last proc finished.
+    pub elapsed: Ns,
+    /// Per-node time buckets, indexed by node id.
+    pub node_buckets: Vec<TimeBuckets>,
+    /// Per-node counters, indexed by node id.
+    pub node_counters: Vec<Counters>,
+    /// Wire-level statistics.
+    pub net: NetStats,
+    /// Bandwidth the run was configured with (for utilization).
+    pub bandwidth_bps: u64,
+    /// Kernel events processed (a determinism fingerprint).
+    pub events_processed: u64,
+}
+
+impl SimReport {
+    /// Network utilization computed the paper's way (payload bits over the
+    /// ideal wire, headers excluded).
+    #[must_use]
+    pub fn net_utilization(&self) -> f64 {
+        self.net.utilization(self.elapsed, self.bandwidth_bps)
+    }
+
+    /// Sum of a bucket across all nodes.
+    #[must_use]
+    pub fn bucket_total(&self, bucket: Bucket) -> Ns {
+        self.node_buckets.iter().map(|b| b.get(bucket)).sum()
+    }
+
+    /// Cluster-wide counter sum.
+    #[must_use]
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.node_counters.iter().map(|c| c.get(name)).sum()
+    }
+
+    /// Average per-node time in `bucket` in seconds.
+    #[must_use]
+    pub fn bucket_avg_secs(&self, bucket: Bucket) -> f64 {
+        if self.node_buckets.is_empty() {
+            return 0.0;
+        }
+        self.bucket_total(bucket) as f64 / 1e9 / self.node_buckets.len() as f64
+    }
+}

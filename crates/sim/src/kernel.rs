@@ -1,0 +1,181 @@
+//! Scheduler internals: the event queue, proc states, and the wire model.
+//!
+//! One global [`Kernel`] sits behind a mutex. Simulated procs (OS threads)
+//! and the runner thread hand a *baton* back and forth: the runner pops the
+//! earliest event, wakes the corresponding proc, and blocks until that proc
+//! parks again. At most one proc executes at any real-time instant, and all
+//! virtual-time ordering comes from the event queue, so runs are
+//! deterministic.
+
+use std::{
+    any::Any,
+    cmp::Reverse,
+    collections::{BinaryHeap, VecDeque},
+    sync::Arc,
+};
+
+use parking_lot::Condvar;
+
+use carlos_util::rng::Xoshiro256;
+
+use crate::{
+    cluster::Datagram,
+    config::SimConfig,
+    stats::{Counters, NetStats, TimeBuckets},
+    time::{NodeId, Ns},
+};
+
+/// Dense identifier of a simulated proc (thread of control).
+pub(crate) type ProcId = usize;
+
+/// What a scheduled event does when it fires.
+#[derive(Debug)]
+pub(crate) enum EvKind {
+    /// Transfer the baton to proc `pid`, provided it is still parked with
+    /// park ticket `seq` (stale wakes are ignored).
+    Wake { pid: ProcId, seq: u64 },
+    /// Append a datagram to `dst`'s mailbox and wake its mailbox waiters.
+    Deliver { dst: NodeId, dgram: Datagram },
+}
+
+#[derive(Debug)]
+pub(crate) struct Event {
+    pub time: Ns,
+    /// Global insertion sequence number: ties on `time` fire in push order,
+    /// which keeps runs deterministic.
+    pub ord: u64,
+    pub kind: EvKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.ord == other.ord
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.ord).cmp(&(other.time, other.ord))
+    }
+}
+
+/// Scheduler-visible state of one proc.
+pub(crate) struct ProcState {
+    /// Condvar the proc's OS thread blocks on while parked.
+    pub cv: Arc<Condvar>,
+    /// Node this proc belongs to.
+    pub node: NodeId,
+    /// True between park and the wake that hands the baton back.
+    pub parked: bool,
+    /// Set by the runner to hand the proc the baton.
+    pub runnable: bool,
+    /// The proc's main function returned (or panicked).
+    pub finished: bool,
+    /// Ticket incremented on every park; wake events must match it.
+    pub park_seq: u64,
+    /// Parked specifically waiting for a mailbox delivery.
+    pub waiting_for_msg: bool,
+}
+
+/// Per-node state: mailbox, CPU availability, and statistics.
+pub(crate) struct NodeState {
+    pub mailbox: VecDeque<Datagram>,
+    /// Virtual time at which the node's (single) CPU becomes free. Charges
+    /// from concurrent user threads on one node serialize through this.
+    pub cpu_free: Ns,
+    pub buckets: TimeBuckets,
+    pub counters: Counters,
+}
+
+impl NodeState {
+    fn new() -> Self {
+        Self {
+            mailbox: VecDeque::new(),
+            cpu_free: 0,
+            buckets: TimeBuckets::default(),
+            counters: Counters::default(),
+        }
+    }
+}
+
+/// The global simulation state, always accessed under one mutex.
+pub(crate) struct Kernel {
+    pub config: SimConfig,
+    pub now: Ns,
+    pub queue: BinaryHeap<Reverse<Event>>,
+    pub next_ord: u64,
+    pub procs: Vec<ProcState>,
+    pub nodes: Vec<NodeState>,
+    /// Which proc currently holds the baton (None while the runner decides).
+    pub running: Option<ProcId>,
+    /// Number of spawned procs whose main has not finished.
+    pub live_procs: usize,
+    /// Virtual time at which the shared Ethernet becomes free.
+    pub medium_busy_until: Ns,
+    pub net: NetStats,
+    pub loss_rng: Xoshiro256,
+    /// First panic payload captured from a proc, re-thrown by the runner.
+    pub panic: Option<Box<dyn Any + Send>>,
+    /// Set when the run is being torn down; parked procs abort.
+    pub poisoned: bool,
+    /// Events processed so far (for the runaway safety valve).
+    pub events_processed: u64,
+    /// Virtual time when the last proc finished.
+    pub end_time: Ns,
+}
+
+impl Kernel {
+    pub fn new(config: SimConfig, n_nodes: usize) -> Self {
+        let loss_rng = Xoshiro256::new(config.loss_seed);
+        Self {
+            config,
+            now: 0,
+            queue: BinaryHeap::new(),
+            next_ord: 0,
+            procs: Vec::new(),
+            nodes: (0..n_nodes).map(|_| NodeState::new()).collect(),
+            running: None,
+            live_procs: 0,
+            medium_busy_until: 0,
+            net: NetStats::default(),
+            loss_rng,
+            panic: None,
+            poisoned: false,
+            events_processed: 0,
+            end_time: 0,
+        }
+    }
+
+    pub fn push_event(&mut self, time: Ns, kind: EvKind) {
+        let ord = self.next_ord;
+        self.next_ord += 1;
+        self.queue.push(Reverse(Event { time, ord, kind }));
+    }
+
+    /// Time of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<Ns> {
+        self.queue.peek().map(|Reverse(e)| e.time)
+    }
+
+    /// Models the shared wire carrying `bytes` of payload starting no
+    /// earlier than `ready_at`. Returns `Some(delivery_time)` or `None` if
+    /// loss injection dropped the frame (the wire is occupied either way).
+    pub fn wire_transmit(&mut self, bytes: usize, ready_at: Ns) -> Option<Ns> {
+        let start = self.medium_busy_until.max(ready_at);
+        let ft = self.config.frame_time(bytes);
+        self.medium_busy_until = start + ft;
+        let dropped = self.config.loss_probability > 0.0
+            && self.loss_rng.next_f64() < self.config.loss_probability;
+        if dropped {
+            self.net.dropped += 1;
+            None
+        } else {
+            Some(start + ft + self.config.wire_latency)
+        }
+    }
+}

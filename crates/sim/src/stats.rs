@@ -1,0 +1,215 @@
+//! Per-node time accounting and counters.
+//!
+//! The paper's Figure 2 breaks execution time into `User` (application
+//! computation), `Unix` (OSF/1 system calls and the UDP/IP stack), `CarlOS`
+//! (message handling and consistency processing), and `Idle` (waiting for
+//! remote operations). The simulator charges every nanosecond of each node's
+//! existence to exactly one of those buckets.
+
+use std::collections::BTreeMap;
+
+use crate::time::Ns;
+
+/// The four execution-time buckets of the paper's Figure 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Bucket {
+    /// Application computation.
+    User,
+    /// Operating-system cost: syscalls, UDP/IP protocol stack.
+    Unix,
+    /// CarlOS message-passing and shared-memory (consistency) overhead.
+    Carlos,
+    /// Time blocked waiting for remote operations to complete.
+    Idle,
+}
+
+impl Bucket {
+    /// All buckets, in display order.
+    pub const ALL: [Bucket; 4] = [Bucket::User, Bucket::Unix, Bucket::Carlos, Bucket::Idle];
+
+    /// Display name matching the paper's figure legend.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Bucket::User => "User",
+            Bucket::Unix => "Unix",
+            Bucket::Carlos => "CarlOS",
+            Bucket::Idle => "Idle",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Bucket::User => 0,
+            Bucket::Unix => 1,
+            Bucket::Carlos => 2,
+            Bucket::Idle => 3,
+        }
+    }
+}
+
+/// Accumulated time per [`Bucket`] for one node.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TimeBuckets {
+    ns: [Ns; 4],
+}
+
+impl TimeBuckets {
+    /// Adds `dt` to `bucket`.
+    pub fn charge(&mut self, bucket: Bucket, dt: Ns) {
+        self.ns[bucket.index()] += dt;
+    }
+
+    /// Time accumulated in `bucket`.
+    #[must_use]
+    pub fn get(&self, bucket: Bucket) -> Ns {
+        self.ns[bucket.index()]
+    }
+
+    /// Sum over all buckets.
+    #[must_use]
+    pub fn total(&self) -> Ns {
+        self.ns.iter().sum()
+    }
+
+    /// Merges another node's buckets into this one (for cluster-wide sums).
+    pub fn merge(&mut self, other: &TimeBuckets) {
+        for i in 0..4 {
+            self.ns[i] += other.ns[i];
+        }
+    }
+}
+
+/// Named event counters, used by the protocol layers for statistics the
+/// paper reports (diffs created, write notices sent, messages per category).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Counters {
+    map: BTreeMap<&'static str, u64>,
+}
+
+impl Counters {
+    /// Adds `v` to the counter `name`.
+    pub fn add(&mut self, name: &'static str, v: u64) {
+        *self.map.entry(name).or_insert(0) += v;
+    }
+
+    /// Current value of `name` (0 if never touched).
+    #[must_use]
+    pub fn get(&self, name: &str) -> u64 {
+        self.map.get(name).copied().unwrap_or(0)
+    }
+
+    /// Iterates `(name, value)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.map.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Merges another counter set into this one.
+    pub fn merge(&mut self, other: &Counters) {
+        for (k, v) in other.iter() {
+            self.add(k, v);
+        }
+    }
+}
+
+/// Network-level statistics for a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Datagrams handed to the wire (including ones later dropped).
+    pub messages: u64,
+    /// Sum of datagram payload bytes (headers excluded), as the paper counts.
+    pub payload_bytes: u64,
+    /// Datagrams dropped by loss injection.
+    pub dropped: u64,
+}
+
+impl NetStats {
+    /// Average datagram payload size in bytes (0 when no messages).
+    #[must_use]
+    pub fn avg_size(&self) -> u64 {
+        self.payload_bytes.checked_div(self.messages).unwrap_or(0)
+    }
+
+    /// Network utilization over `elapsed`, computed the paper's way:
+    /// payload bits over an ideal `bandwidth_bps` wire, headers excluded.
+    #[must_use]
+    pub fn utilization(&self, elapsed: Ns, bandwidth_bps: u64) -> f64 {
+        if elapsed == 0 {
+            return 0.0;
+        }
+        let bits = self.payload_bytes as f64 * 8.0;
+        let secs = elapsed as f64 / 1e9;
+        bits / secs / bandwidth_bps as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_charge_and_total() {
+        let mut b = TimeBuckets::default();
+        b.charge(Bucket::User, 100);
+        b.charge(Bucket::User, 50);
+        b.charge(Bucket::Idle, 25);
+        assert_eq!(b.get(Bucket::User), 150);
+        assert_eq!(b.get(Bucket::Idle), 25);
+        assert_eq!(b.get(Bucket::Unix), 0);
+        assert_eq!(b.total(), 175);
+    }
+
+    #[test]
+    fn buckets_merge() {
+        let mut a = TimeBuckets::default();
+        a.charge(Bucket::Carlos, 10);
+        let mut b = TimeBuckets::default();
+        b.charge(Bucket::Carlos, 5);
+        b.charge(Bucket::Unix, 7);
+        a.merge(&b);
+        assert_eq!(a.get(Bucket::Carlos), 15);
+        assert_eq!(a.get(Bucket::Unix), 7);
+    }
+
+    #[test]
+    fn bucket_names() {
+        assert_eq!(Bucket::Carlos.name(), "CarlOS");
+        assert_eq!(Bucket::ALL.len(), 4);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut c = Counters::default();
+        c.add("diffs", 3);
+        c.add("diffs", 2);
+        assert_eq!(c.get("diffs"), 5);
+        assert_eq!(c.get("absent"), 0);
+    }
+
+    #[test]
+    fn counters_merge_and_iterate() {
+        let mut a = Counters::default();
+        a.add("x", 1);
+        let mut b = Counters::default();
+        b.add("x", 2);
+        b.add("y", 3);
+        a.merge(&b);
+        let all: Vec<_> = a.iter().collect();
+        assert_eq!(all, vec![("x", 3), ("y", 3)]);
+    }
+
+    #[test]
+    fn netstats_avg_and_utilization() {
+        let n = NetStats {
+            messages: 4,
+            payload_bytes: 1000,
+            dropped: 0,
+        };
+        assert_eq!(n.avg_size(), 250);
+        // 8000 bits over 1 ms at 10 Mbit/s = 80% utilization.
+        let u = n.utilization(1_000_000, 10_000_000);
+        assert!((u - 0.8).abs() < 1e-9);
+        assert_eq!(NetStats::default().avg_size(), 0);
+        assert_eq!(NetStats::default().utilization(0, 1), 0.0);
+    }
+}

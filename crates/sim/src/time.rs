@@ -1,0 +1,51 @@
+//! Virtual time and identifier types.
+
+/// Virtual time in nanoseconds since simulation start.
+pub type Ns = u64;
+
+/// Identifier of a simulated cluster node (0-based, dense).
+pub type NodeId = u32;
+
+/// Converts microseconds to [`Ns`].
+#[must_use]
+pub const fn us(v: u64) -> Ns {
+    v * 1_000
+}
+
+/// Converts milliseconds to [`Ns`].
+#[must_use]
+pub const fn ms(v: u64) -> Ns {
+    v * 1_000_000
+}
+
+/// Converts whole seconds to [`Ns`].
+#[must_use]
+pub const fn secs(v: u64) -> Ns {
+    v * 1_000_000_000
+}
+
+/// Converts [`Ns`] to fractional seconds.
+#[must_use]
+pub fn to_secs(ns: Ns) -> f64 {
+    ns as f64 / 1e9
+}
+
+/// Converts [`Ns`] to whole microseconds (rounding down).
+#[must_use]
+pub const fn to_us(ns: Ns) -> u64 {
+    ns / 1_000
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(us(5), 5_000);
+        assert_eq!(ms(2), 2_000_000);
+        assert_eq!(secs(1), 1_000_000_000);
+        assert_eq!(to_us(us(123)), 123);
+        assert!((to_secs(secs(3)) - 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,338 @@
+//! Reliable, in-order message delivery over datagrams.
+//!
+//! CarlOS messages "are implemented using UDP/IP datagrams supplemented with
+//! a sliding window protocol to assure reliable, in-order delivery" (§4.3).
+//! [`Transport`] implements that protocol: per-peer sequence numbers, a
+//! bounded in-flight window, cumulative acknowledgements, go-back-N
+//! retransmission on timeout, duplicate suppression, and a reorder buffer.
+//!
+//! Two modes are provided:
+//!
+//! - [`AckMode::Implicit`] — no acknowledgement traffic. Correct only on a
+//!   loss-free FIFO wire (which the simulated shared Ethernet is when loss
+//!   injection is off). The benchmark harnesses use this mode so message
+//!   counts match the paper's tables, which were measured on an isolated
+//!   Ethernet without retransmissions.
+//! - [`AckMode::Arq`] — the full sliding-window protocol, exercised by the
+//!   loss-injection tests.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use crate::{
+    cluster::NodeCtx,
+    time::{NodeId, Ns},
+};
+
+/// Acknowledgement strategy for a [`Transport`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AckMode {
+    /// No acks, no retransmission. Requires a loss-free in-order wire.
+    Implicit,
+    /// Sliding window with cumulative acks and go-back-N retransmission.
+    Arq {
+        /// Maximum unacknowledged data messages per peer.
+        window: u32,
+        /// Retransmission timeout.
+        rto: Ns,
+    },
+}
+
+/// Wire header: 1 byte kind + 4 bytes sequence/ack number.
+const HEADER_BYTES: usize = 5;
+const KIND_DATA: u8 = 0;
+const KIND_ACK: u8 = 1;
+
+#[derive(Debug, Default)]
+struct PeerTx {
+    next_seq: u32,
+    /// Sent but unacknowledged `(seq, payload)` in seq order.
+    unacked: VecDeque<(u32, Vec<u8>)>,
+    /// Waiting for window space.
+    queued: VecDeque<Vec<u8>>,
+    /// Absolute deadline of the pending retransmission timer.
+    rto_at: Option<Ns>,
+}
+
+#[derive(Debug, Default)]
+struct PeerRx {
+    next_seq: u32,
+    /// Out-of-order arrivals awaiting the gap to fill.
+    reorder: BTreeMap<u32, Vec<u8>>,
+}
+
+/// Reliable in-order transport endpoint for one node.
+///
+/// All methods run on the owning node's proc. Incoming datagrams are read
+/// from the node mailbox; user messages come out of [`Transport::wait`] /
+/// [`Transport::poll`] in per-sender order, exactly once.
+pub struct Transport {
+    ctx: NodeCtx,
+    mode: AckMode,
+    tx: Vec<PeerTx>,
+    rx: Vec<PeerRx>,
+    ready: VecDeque<(NodeId, Vec<u8>)>,
+}
+
+impl Transport {
+    /// Creates the endpoint for the node behind `ctx`.
+    #[must_use]
+    pub fn new(ctx: NodeCtx, mode: AckMode) -> Self {
+        let n = ctx.num_nodes();
+        Self {
+            ctx,
+            mode,
+            tx: (0..n).map(|_| PeerTx::default()).collect(),
+            rx: (0..n).map(|_| PeerRx::default()).collect(),
+            ready: VecDeque::new(),
+        }
+    }
+
+    /// The node context this transport runs on.
+    #[must_use]
+    pub fn ctx(&self) -> &NodeCtx {
+        &self.ctx
+    }
+
+    /// Replaces the proc context used for waiting and time charging.
+    ///
+    /// All procs of one node share the mailbox, CPU, and counters, but
+    /// parking is per proc: when several user threads share one endpoint,
+    /// each must install its own context before blocking so it parks its
+    /// own proc rather than a sibling's.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ctx` belongs to a different node.
+    pub fn set_ctx(&mut self, ctx: NodeCtx) {
+        assert_eq!(
+            ctx.node_id(),
+            self.ctx.node_id(),
+            "transport context must stay on its node"
+        );
+        self.ctx = ctx;
+    }
+
+    /// Sends `msg` to `dst` reliably and in order. Asynchronous: returns
+    /// after local send processing, not delivery.
+    pub fn send(&mut self, dst: NodeId, msg: Vec<u8>) {
+        if dst == self.ctx.node_id() {
+            // Loopback delivery is lossless and in order by construction,
+            // and a node never acknowledges itself — putting loopback
+            // frames in the ARQ window would retransmit them forever.
+            let seq = self.tx[dst as usize].next_seq;
+            self.tx[dst as usize].next_seq += 1;
+            self.ctx.send_datagram(dst, frame(KIND_DATA, seq, &msg));
+            return;
+        }
+        match self.mode {
+            AckMode::Implicit => {
+                let seq = self.tx[dst as usize].next_seq;
+                self.tx[dst as usize].next_seq += 1;
+                self.ctx.send_datagram(dst, frame(KIND_DATA, seq, &msg));
+            }
+            AckMode::Arq { window, rto } => {
+                let peer = &mut self.tx[dst as usize];
+                if (peer.unacked.len() as u32) < window {
+                    let seq = peer.next_seq;
+                    peer.next_seq += 1;
+                    peer.unacked.push_back((seq, msg.clone()));
+                    if peer.rto_at.is_none() {
+                        peer.rto_at = Some(self.ctx.now() + rto);
+                    }
+                    self.ctx.send_datagram(dst, frame(KIND_DATA, seq, &msg));
+                } else {
+                    peer.queued.push_back(msg);
+                }
+            }
+        }
+    }
+
+    /// Returns the next ready user message without blocking, after draining
+    /// any datagrams already in the mailbox.
+    pub fn poll(&mut self) -> Option<(NodeId, Vec<u8>)> {
+        self.drain_mailbox();
+        self.ready.pop_front()
+    }
+
+    /// Blocks until a user message is available or `deadline` (absolute
+    /// virtual time) passes. Drives retransmission timers while waiting.
+    pub fn wait(&mut self, deadline: Option<Ns>) -> Option<(NodeId, Vec<u8>)> {
+        loop {
+            if let Some(m) = self.poll() {
+                return Some(m);
+            }
+            let now = self.ctx.now();
+            if let Some(dl) = deadline {
+                if now >= dl {
+                    return None;
+                }
+            }
+            let rto = self.earliest_rto();
+            let wait_until = match (deadline, rto) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (Some(a), None) => Some(a),
+                (None, b) => b,
+            };
+            match self.ctx.wait_recv(wait_until) {
+                Some(d) => self.handle_datagram(d.src, d.payload),
+                None => self.fire_timeouts(),
+            }
+        }
+    }
+
+    /// True if any peer has unacknowledged or queued data (Arq mode).
+    #[must_use]
+    pub fn has_unacked(&self) -> bool {
+        self.tx
+            .iter()
+            .any(|p| !p.unacked.is_empty() || !p.queued.is_empty())
+    }
+
+    /// Blocks until all sent data has been acknowledged (no-op in Implicit
+    /// mode), bounded to 32 retransmission timeouts per call.
+    ///
+    /// The bound matters at shutdown: if this node's final acknowledgement
+    /// to a peer was lost after the peer already exited, no ack will ever
+    /// arrive and an unbounded flush would retransmit forever. Real stacks
+    /// bound connection teardown the same way.
+    pub fn flush(&mut self) {
+        let AckMode::Arq { rto, .. } = self.mode else {
+            return;
+        };
+        // Progress-based bound: each incoming datagram (ack or data) pushes
+        // the give-up deadline out again, so heavy loss merely slows the
+        // flush; only total silence — a peer that already exited — ends it.
+        let mut deadline = self.ctx.now() + rto * 32;
+        while self.has_unacked() {
+            if self.ctx.now() >= deadline {
+                self.ctx.count("transport.flush_gave_up", 1);
+                return;
+            }
+            let next = self.earliest_rto().map_or(deadline, |t| t.min(deadline));
+            match self.ctx.wait_recv(Some(next)) {
+                Some(d) => {
+                    self.handle_datagram(d.src, d.payload);
+                    deadline = self.ctx.now() + rto * 32;
+                }
+                None => self.fire_timeouts(),
+            }
+        }
+    }
+
+    fn drain_mailbox(&mut self) {
+        while let Some(d) = self.ctx.try_recv() {
+            self.handle_datagram(d.src, d.payload);
+        }
+    }
+
+    fn earliest_rto(&self) -> Option<Ns> {
+        self.tx.iter().filter_map(|p| p.rto_at).min()
+    }
+
+    fn fire_timeouts(&mut self) {
+        let AckMode::Arq { rto, .. } = self.mode else {
+            return;
+        };
+        let now = self.ctx.now();
+        for dst in 0..self.tx.len() {
+            let due = self.tx[dst].rto_at.is_some_and(|t| t <= now);
+            if !due {
+                continue;
+            }
+            // Go-back-N: retransmit everything unacknowledged.
+            let frames: Vec<(u32, Vec<u8>)> = self.tx[dst].unacked.iter().cloned().collect();
+            for (seq, payload) in frames {
+                self.ctx.count("transport.retransmits", 1);
+                self.ctx.send_datagram(dst as NodeId, frame(KIND_DATA, seq, &payload));
+            }
+            self.tx[dst].rto_at = if self.tx[dst].unacked.is_empty() {
+                None
+            } else {
+                Some(self.ctx.now() + rto)
+            };
+        }
+    }
+
+    fn handle_datagram(&mut self, src: NodeId, payload: Vec<u8>) {
+        if payload.len() < HEADER_BYTES {
+            // Corrupt or foreign datagram; the real system would log and drop.
+            self.ctx.count("transport.malformed", 1);
+            return;
+        }
+        let kind = payload[0];
+        let seq = u32::from_le_bytes(
+            payload[1..5]
+                .try_into()
+                .expect("header slice is four bytes"),
+        );
+        let body = payload[HEADER_BYTES..].to_vec();
+        match kind {
+            KIND_DATA => self.handle_data(src, seq, body),
+            KIND_ACK => self.handle_ack(src, seq),
+            _ => self.ctx.count("transport.malformed", 1),
+        }
+    }
+
+    fn handle_data(&mut self, src: NodeId, seq: u32, body: Vec<u8>) {
+        let rx = &mut self.rx[src as usize];
+        if seq < rx.next_seq {
+            self.ctx.count("transport.duplicates", 1);
+        } else if seq == rx.next_seq {
+            rx.next_seq += 1;
+            self.ready.push_back((src, body));
+            // Drain any buffered successors.
+            while let Some(b) = rx.reorder.remove(&rx.next_seq) {
+                rx.next_seq += 1;
+                self.ready.push_back((src, b));
+            }
+        } else {
+            rx.reorder.insert(seq, body);
+            self.ctx.count("transport.reordered", 1);
+        }
+        if matches!(self.mode, AckMode::Arq { .. }) && src != self.ctx.node_id() {
+            let cum = self.rx[src as usize].next_seq;
+            self.ctx.count("transport.acks", 1);
+            self.ctx.send_datagram(src, frame(KIND_ACK, cum, &[]));
+        }
+    }
+
+    fn handle_ack(&mut self, src: NodeId, cum: u32) {
+        let AckMode::Arq { window, rto } = self.mode else {
+            return;
+        };
+        let peer = &mut self.tx[src as usize];
+        while peer.unacked.front().is_some_and(|(s, _)| *s < cum) {
+            peer.unacked.pop_front();
+        }
+        peer.rto_at = if peer.unacked.is_empty() {
+            None
+        } else {
+            Some(self.ctx.now() + rto)
+        };
+        // Window space may have opened; send queued data.
+        let mut to_send = Vec::new();
+        while (peer.unacked.len() as u32) < window {
+            let Some(msg) = peer.queued.pop_front() else {
+                break;
+            };
+            let seq = peer.next_seq;
+            peer.next_seq += 1;
+            peer.unacked.push_back((seq, msg.clone()));
+            to_send.push((seq, msg));
+        }
+        if !to_send.is_empty() && self.tx[src as usize].rto_at.is_none() {
+            self.tx[src as usize].rto_at = Some(self.ctx.now() + rto);
+        }
+        for (seq, msg) in to_send {
+            self.ctx.send_datagram(src, frame(KIND_DATA, seq, &msg));
+        }
+    }
+}
+
+fn frame(kind: u8, seq: u32, body: &[u8]) -> Vec<u8> {
+    let mut v = Vec::with_capacity(HEADER_BYTES + body.len());
+    v.push(kind);
+    v.extend_from_slice(&seq.to_le_bytes());
+    v.extend_from_slice(body);
+    v
+}

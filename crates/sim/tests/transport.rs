@@ -1,0 +1,222 @@
+//! Tests for the sliding-window reliable transport, including loss recovery.
+
+use std::sync::{
+    atomic::{AtomicU64, Ordering},
+    Arc,
+};
+
+use carlos_sim::{
+    time::ms,
+    transport::{AckMode, Transport},
+    Cluster, SimConfig,
+};
+
+const ARQ: AckMode = AckMode::Arq {
+    window: 8,
+    rto: ms(20),
+};
+
+#[test]
+fn implicit_mode_delivers_in_order() {
+    let mut c = Cluster::new(SimConfig::fast_test(), 2);
+    c.spawn_node(0, |ctx| {
+        let mut t = Transport::new(ctx, AckMode::Implicit);
+        for i in 0..50u32 {
+            t.send(1, i.to_le_bytes().to_vec());
+        }
+    });
+    c.spawn_node(1, |ctx| {
+        let mut t = Transport::new(ctx, AckMode::Implicit);
+        for i in 0..50u32 {
+            let (src, body) = t.wait(None).expect("message");
+            assert_eq!(src, 0);
+            assert_eq!(u32::from_le_bytes(body.try_into().unwrap()), i);
+        }
+    });
+    let r = c.run();
+    assert_eq!(r.net.messages, 50, "implicit mode sends no acks");
+}
+
+#[test]
+fn arq_delivers_without_loss() {
+    let mut c = Cluster::new(SimConfig::fast_test(), 2);
+    c.spawn_node(0, |ctx| {
+        let mut t = Transport::new(ctx, ARQ);
+        for i in 0..100u32 {
+            t.send(1, i.to_le_bytes().to_vec());
+        }
+        t.flush();
+    });
+    c.spawn_node(1, |ctx| {
+        let mut t = Transport::new(ctx, ARQ);
+        for i in 0..100u32 {
+            let (_, body) = t.wait(None).expect("message");
+            assert_eq!(u32::from_le_bytes(body.try_into().unwrap()), i);
+        }
+    });
+    let r = c.run();
+    assert_eq!(r.counter_total("transport.retransmits"), 0);
+    assert_eq!(r.counter_total("transport.duplicates"), 0);
+}
+
+#[test]
+fn arq_recovers_from_heavy_loss() {
+    let cfg = SimConfig::fast_test().with_loss(0.3, 1234);
+    let received = Arc::new(AtomicU64::new(0));
+    let received2 = Arc::clone(&received);
+    let mut c = Cluster::new(cfg, 2);
+    c.spawn_node(0, |ctx| {
+        let mut t = Transport::new(ctx, ARQ);
+        for i in 0..200u32 {
+            t.send(1, i.to_le_bytes().to_vec());
+        }
+        t.flush();
+    });
+    c.spawn_node(1, move |ctx| {
+        let mut t = Transport::new(ctx, ARQ);
+        for i in 0..200u32 {
+            let (_, body) = t.wait(None).expect("reliable delivery despite loss");
+            assert_eq!(
+                u32::from_le_bytes(body.try_into().unwrap()),
+                i,
+                "delivery out of order"
+            );
+            received2.fetch_add(1, Ordering::SeqCst);
+        }
+        // Keep acking retransmitted stragglers until the sender goes quiet.
+        while t.wait(Some(t.ctx().now() + ms(100))).is_some() {}
+    });
+    let r = c.run();
+    assert_eq!(received.load(Ordering::SeqCst), 200);
+    assert!(
+        r.counter_total("transport.retransmits") > 0,
+        "30% loss must force retransmissions"
+    );
+    assert!(r.net.dropped > 0);
+}
+
+#[test]
+fn arq_exactly_once_under_duplication_pressure() {
+    // Loss of acks causes data retransmits, i.e. duplicates at the
+    // receiver; they must be suppressed.
+    let cfg = SimConfig::fast_test().with_loss(0.4, 99);
+    let mut c = Cluster::new(cfg, 2);
+    c.spawn_node(0, |ctx| {
+        let mut t = Transport::new(ctx, ARQ);
+        for i in 0..50u32 {
+            t.send(1, i.to_le_bytes().to_vec());
+        }
+        t.flush();
+    });
+    c.spawn_node(1, |ctx| {
+        let mut t = Transport::new(ctx, ARQ);
+        let mut seen = [false; 50];
+        for _ in 0..50 {
+            let (_, body) = t.wait(None).expect("message");
+            let v = u32::from_le_bytes(body.try_into().unwrap()) as usize;
+            assert!(!seen[v], "duplicate delivery of {v}");
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        while t.wait(Some(t.ctx().now() + ms(200))).is_some() {}
+    });
+    c.run();
+}
+
+#[test]
+fn bidirectional_traffic() {
+    let mut c = Cluster::new(SimConfig::fast_test(), 2);
+    for node in 0..2u32 {
+        c.spawn_node(node, move |ctx| {
+            let peer = 1 - node;
+            let mut t = Transport::new(ctx, ARQ);
+            let mut received = 0u32;
+            let mut sent = 0u32;
+            while received < 30 {
+                if sent < 30 {
+                    t.send(peer, vec![sent as u8]);
+                    sent += 1;
+                }
+                if let Some((src, body)) = t.wait(Some(t.ctx().now() + ms(1))) {
+                    assert_eq!(src, peer);
+                    assert_eq!(body[0] as u32, received);
+                    received += 1;
+                }
+            }
+            t.flush();
+        });
+    }
+    c.run();
+}
+
+#[test]
+fn window_blocks_excess_inflight() {
+    // With window 2 and no receiver polling initially, only 2 frames can be
+    // unacked; the rest queue and flow once acks return.
+    let mode = AckMode::Arq {
+        window: 2,
+        rto: ms(10),
+    };
+    let mut c = Cluster::new(SimConfig::fast_test(), 2);
+    c.spawn_node(0, move |ctx| {
+        let mut t = Transport::new(ctx, mode);
+        for i in 0..20u32 {
+            t.send(1, vec![i as u8]);
+        }
+        assert!(t.has_unacked());
+        t.flush();
+        assert!(!t.has_unacked());
+    });
+    c.spawn_node(1, move |ctx| {
+        let mut t = Transport::new(ctx, mode);
+        for i in 0..20u32 {
+            let (_, body) = t.wait(None).expect("message");
+            assert_eq!(body[0] as u32, i);
+        }
+    });
+    c.run();
+}
+
+#[test]
+fn three_party_ordering_per_peer() {
+    // Node 2 receives interleaved streams from 0 and 1; each stream must be
+    // in order even though the interleaving is arbitrary.
+    let mut c = Cluster::new(SimConfig::fast_test(), 3);
+    for src in 0..2u32 {
+        c.spawn_node(src, move |ctx| {
+            let mut t = Transport::new(ctx, ARQ);
+            for i in 0..40u32 {
+                t.send(2, vec![src as u8, i as u8]);
+            }
+            t.flush();
+        });
+    }
+    c.spawn_node(2, |ctx| {
+        let mut t = Transport::new(ctx, ARQ);
+        let mut next = [0u8; 2];
+        for _ in 0..80 {
+            let (src, body) = t.wait(None).expect("message");
+            assert_eq!(body[0], src as u8);
+            assert_eq!(body[1], next[src as usize], "per-peer order violated");
+            next[src as usize] += 1;
+        }
+    });
+    c.run();
+}
+
+#[test]
+fn malformed_datagram_is_dropped() {
+    let mut c = Cluster::new(SimConfig::fast_test(), 2);
+    c.spawn_node(0, |ctx| {
+        // Raw garbage, below the transport header size.
+        ctx.send_datagram(1, vec![9]);
+        ctx.send_datagram(1, vec![]);
+    });
+    c.spawn_node(1, |ctx| {
+        let mut t = Transport::new(ctx, ARQ);
+        let got = t.wait(Some(t.ctx().now() + ms(10)));
+        assert!(got.is_none());
+        assert_eq!(t.ctx().counter("transport.malformed"), 2);
+    });
+    c.run();
+}

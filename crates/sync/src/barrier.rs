@@ -1,0 +1,166 @@
+//! TreadMarks-style barriers and the global garbage collection they host.
+//!
+//! "Each TreadMarks-style barrier is assigned a manager node. Clients
+//! arriving at a barrier send RELEASE messages to the manager. If this is
+//! a global barrier, RELEASE_NT messages can be used. The manager node
+//! accepts the arrival messages to make itself consistent with all of the
+//! client nodes. To signal the fall of the barrier, the manager sends
+//! departure messages marked RELEASE to the client nodes. When each client
+//! accepts the departure message, it becomes consistent with the manager
+//! and, hence, with all of the other clients." (§3)
+//!
+//! Because a barrier leaves all nodes mutually consistent with equalized
+//! vector timestamps, it is the natural host for the global garbage
+//! collection of consistency records (§5.2): when any node's record
+//! storage exceeds its threshold, the fall of the barrier is followed by a
+//! validate-everything / confirm / discard round.
+
+use carlos_core::{Annotation, Runtime};
+use carlos_sim::NodeId;
+use carlos_util::codec::{Decoder, Encoder};
+
+use crate::{
+    ids::{H_BARRIER_ARRIVE, H_BARRIER_DEPART, H_GC_DONE, H_GC_GO},
+    system::SyncSystem,
+};
+
+/// Identity and behaviour of a barrier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BarrierSpec {
+    /// Application-chosen barrier id.
+    pub id: u32,
+    /// Manager node that collects arrivals and signals departure.
+    pub manager: NodeId,
+    /// Use RELEASE_NT arrivals (valid for *global* barriers, where the
+    /// union of every member's own contribution is globally consistent).
+    pub non_transitive: bool,
+}
+
+impl BarrierSpec {
+    /// A global barrier using non-transitive arrivals (the TreadMarks way).
+    #[must_use]
+    pub fn global(id: u32, manager: NodeId) -> Self {
+        Self {
+            id,
+            manager,
+            non_transitive: true,
+        }
+    }
+
+    /// A barrier whose arrivals are full RELEASE messages.
+    #[must_use]
+    pub fn full(id: u32, manager: NodeId) -> Self {
+        Self {
+            id,
+            manager,
+            non_transitive: false,
+        }
+    }
+}
+
+fn body(id: u32, epoch: u32, gc: bool) -> Vec<u8> {
+    let mut e = Encoder::new();
+    e.put_u32(id);
+    e.put_u32(epoch);
+    e.put_u8(u8::from(gc));
+    e.finish_vec()
+}
+
+fn parse(b: &[u8]) -> (u32, u32, bool) {
+    let mut d = Decoder::new(b);
+    let id = d.get_u32().expect("barrier id");
+    let epoch = d.get_u32().expect("barrier epoch");
+    let gc = d.get_u8().expect("barrier gc flag") != 0;
+    (id, epoch, gc)
+}
+
+impl SyncSystem {
+    /// Waits at `barrier` until every node in the cluster has arrived.
+    ///
+    /// `epoch` must increase by one per use of the same barrier id on every
+    /// node (applications typically keep a loop counter). When any node's
+    /// consistency-record storage has crossed its GC threshold, the fall of
+    /// the barrier triggers a global garbage collection before returning.
+    pub fn barrier(&self, rt: &mut Runtime, barrier: BarrierSpec, epoch: u32) {
+        let n = rt.num_nodes() as u32;
+        rt.ctx().count("barrier.waits", 1);
+        if n == 1 {
+            return;
+        }
+        let me = rt.node_id();
+        let want_gc_local = rt.gc_needed();
+        if me == barrier.manager {
+            // Collect n-1 arrivals; acceptance makes us consistent with all.
+            let mut gc = want_gc_local;
+            for _ in 0..n - 1 {
+                let m = rt.wait_accepted(H_BARRIER_ARRIVE);
+                let (id, ep, client_gc) = parse(&m.body);
+                assert_eq!(id, barrier.id, "arrival for a different barrier");
+                assert_eq!(ep, epoch, "barrier epoch mismatch (overlapping use?)");
+                gc |= client_gc;
+            }
+            // Departures: full RELEASEs; every client becomes consistent
+            // with us, hence with everyone.
+            for peer in 0..n {
+                if peer != me {
+                    rt.send(
+                        peer,
+                        H_BARRIER_DEPART,
+                        body(barrier.id, epoch, gc),
+                        Annotation::Release,
+                    );
+                }
+            }
+            if gc {
+                self.gc_round_manager(rt);
+            }
+        } else {
+            let annotation = if barrier.non_transitive {
+                Annotation::ReleaseNt
+            } else {
+                Annotation::Release
+            };
+            rt.send(
+                barrier.manager,
+                H_BARRIER_ARRIVE,
+                body(barrier.id, epoch, want_gc_local),
+                annotation,
+            );
+            let m = rt.wait_accepted(H_BARRIER_DEPART);
+            let (id, ep, gc) = parse(&m.body);
+            assert_eq!(id, barrier.id, "departure for a different barrier");
+            assert_eq!(ep, epoch, "barrier epoch mismatch (overlapping use?)");
+            if gc {
+                self.gc_round_client(rt, barrier.manager);
+            }
+        }
+    }
+
+    /// Manager side of the GC round that follows a barrier fall: wait for
+    /// every client to finish validating, validate locally, then authorize
+    /// the discard.
+    fn gc_round_manager(&self, rt: &mut Runtime) {
+        let n = rt.num_nodes() as u32;
+        let me = rt.node_id();
+        rt.gc_validate_all();
+        for _ in 0..n - 1 {
+            let _ = rt.wait_accepted(H_GC_DONE);
+        }
+        for peer in 0..n {
+            if peer != me {
+                rt.send(peer, H_GC_GO, Vec::new(), Annotation::None);
+            }
+        }
+        rt.gc_discard();
+        rt.ctx().count("gc.rounds", 1);
+    }
+
+    /// Client side of the post-barrier GC round.
+    fn gc_round_client(&self, rt: &mut Runtime, manager: NodeId) {
+        rt.gc_validate_all();
+        rt.send(manager, H_GC_DONE, Vec::new(), Annotation::None);
+        let _ = rt.wait_accepted(H_GC_GO);
+        rt.gc_discard();
+        rt.ctx().count("gc.rounds", 1);
+    }
+}

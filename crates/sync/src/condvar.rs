@@ -1,0 +1,121 @@
+//! Condition variables over annotated messages (§3).
+//!
+//! Waiters register at the manager with a REQUEST *before* releasing the
+//! associated lock (closing the classic lost-wakeup window, given that
+//! signalers hold the lock and the transport delivers in order). A signal
+//! is a RELEASE the manager forwards to one waiter; a broadcast is a
+//! RELEASE the manager accepts and re-releases to every waiter.
+
+use carlos_core::{Annotation, Runtime};
+use carlos_sim::NodeId;
+use carlos_util::codec::{Decoder, Encoder};
+
+use crate::{
+    ids::{H_CV_BROADCAST, H_CV_SIGNAL, H_CV_WAIT, H_CV_WAKE},
+    lock::LockSpec,
+    system::SyncSystem,
+};
+
+/// Identity of a condition variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CondvarSpec {
+    /// Application-chosen condition-variable id.
+    pub id: u32,
+    /// Manager node keeping the waiter queue.
+    pub manager: NodeId,
+}
+
+impl CondvarSpec {
+    /// A condition variable managed by `manager`.
+    #[must_use]
+    pub fn new(id: u32, manager: NodeId) -> Self {
+        Self { id, manager }
+    }
+}
+
+fn body(id: u32) -> Vec<u8> {
+    let mut e = Encoder::new();
+    e.put_u32(id);
+    e.finish_vec()
+}
+
+fn parse_id(b: &[u8]) -> u32 {
+    Decoder::new(b).get_u32().expect("cv body carries an id")
+}
+
+pub(crate) fn register(rt: &mut Runtime, sys: &SyncSystem) {
+    let s = sys.clone();
+    rt.register(
+        H_CV_WAIT,
+        Box::new(move |env, msg| {
+            let id = parse_id(&msg.body);
+            let waiter = msg.origin;
+            env.discard(msg);
+            s.with_tables(|t| t.cvs.entry(id).or_default().waiters.push_back(waiter));
+        }),
+    );
+
+    let s = sys.clone();
+    rt.register(
+        H_CV_SIGNAL,
+        Box::new(move |env, msg| {
+            let id = parse_id(&msg.body);
+            let waiter = s.with_tables(|t| t.cvs.entry(id).or_default().waiters.pop_front());
+            match waiter {
+                Some(w) => env.forward_as(msg, w, H_CV_WAKE),
+                // No waiter: the signal is lost, as condition variables
+                // specify; its consistency information is dropped with it.
+                None => env.discard(msg),
+            }
+        }),
+    );
+
+    let s = sys.clone();
+    rt.register(
+        H_CV_BROADCAST,
+        Box::new(move |env, msg| {
+            let id = parse_id(&msg.body);
+            // A stored message can only be forwarded once, so a broadcast
+            // is accepted here and re-released to each waiter (the manager
+            // becomes a transitive relay — correct, mildly over-consistent).
+            let waiters = s.with_tables(|t| std::mem::take(&mut t.cvs.entry(id).or_default().waiters));
+            env.accept(msg);
+            for w in waiters {
+                env.send(w, H_CV_WAKE, body(id), Annotation::Release);
+            }
+        }),
+    );
+    // H_CV_WAKE uses the default disposition (accept).
+}
+
+impl SyncSystem {
+    /// Waits on `cv`, releasing `lock` while blocked and re-acquiring it
+    /// before returning (Mesa semantics).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lock` is not held.
+    pub fn cv_wait(&self, rt: &mut Runtime, cv: CondvarSpec, lock: LockSpec) {
+        // Register first, then release: a signaler must acquire the lock
+        // before signalling, so its signal cannot overtake our registration.
+        rt.send(cv.manager, H_CV_WAIT, body(cv.id), Annotation::Request);
+        self.release(rt, lock);
+        let m = rt.wait_accepted(H_CV_WAKE);
+        assert_eq!(parse_id(&m.body), cv.id, "wake for a different condvar");
+        self.acquire(rt, lock);
+        rt.ctx().count("cv.waits", 1);
+    }
+
+    /// Wakes one waiter (no-op when none is registered). The RELEASE
+    /// annotation carries this node's modifications to the woken waiter.
+    pub fn cv_signal(&self, rt: &mut Runtime, cv: CondvarSpec) {
+        rt.send(cv.manager, H_CV_SIGNAL, body(cv.id), Annotation::Release);
+        rt.ctx().count("cv.signals", 1);
+    }
+
+    /// Wakes every waiter currently registered.
+    pub fn cv_broadcast(&self, rt: &mut Runtime, cv: CondvarSpec) {
+        rt.send(cv.manager, H_CV_BROADCAST, body(cv.id), Annotation::Release);
+        rt.ctx().count("cv.broadcasts", 1);
+    }
+}

@@ -1,0 +1,47 @@
+//! Handler-id assignments for the coordination protocols.
+//!
+//! User applications must avoid the `0x0100..0x01FF` range, which this
+//! crate reserves.
+
+/// Lock acquire request, sent to the lock's manager (REQUEST).
+pub const H_LOCK_ACQ: u32 = 0x0100;
+/// Lock request forwarded by the manager to the previous queue tail.
+pub const H_LOCK_PASS: u32 = 0x0101;
+/// Lock grant (RELEASE) from the previous holder to the next.
+pub const H_LOCK_GRANT: u32 = 0x0102;
+
+/// Barrier arrival (RELEASE or RELEASE_NT), client to manager.
+pub const H_BARRIER_ARRIVE: u32 = 0x0110;
+/// Barrier departure (RELEASE), manager to clients.
+pub const H_BARRIER_DEPART: u32 = 0x0111;
+/// GC validation complete (NONE), client to manager.
+pub const H_GC_DONE: u32 = 0x0112;
+/// GC discard go-ahead (NONE), manager to clients.
+pub const H_GC_GO: u32 = 0x0113;
+
+/// Work-queue enqueue (typically RELEASE), producer to manager.
+pub const H_Q_ENQ: u32 = 0x0120;
+/// Work-queue dequeue request (typically REQUEST), consumer to manager.
+pub const H_Q_DEQ: u32 = 0x0121;
+/// Work item delivery (forwarded enqueue), manager to consumer.
+pub const H_Q_ITEM: u32 = 0x0122;
+/// Queue-closed notification (NONE), manager to consumer.
+pub const H_Q_EMPTY: u32 = 0x0123;
+/// Queue close command (NONE), any node to manager.
+pub const H_Q_CLOSE: u32 = 0x0124;
+
+/// Semaphore P request (REQUEST), to manager.
+pub const H_SEM_P: u32 = 0x0130;
+/// Semaphore V (RELEASE), to manager.
+pub const H_SEM_V: u32 = 0x0131;
+/// Semaphore grant, manager (or forwarded V) to the P-er.
+pub const H_SEM_GRANT: u32 = 0x0132;
+
+/// Condition-variable wait registration (REQUEST), to manager.
+pub const H_CV_WAIT: u32 = 0x0140;
+/// Condition-variable signal (RELEASE), to manager.
+pub const H_CV_SIGNAL: u32 = 0x0141;
+/// Condition-variable broadcast (RELEASE), to manager.
+pub const H_CV_BROADCAST: u32 = 0x0142;
+/// Wake-up delivered to a waiter.
+pub const H_CV_WAKE: u32 = 0x0143;

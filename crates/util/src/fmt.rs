@@ -1,0 +1,155 @@
+//! Formatting helpers for the benchmark harnesses.
+//!
+//! The bench targets print tables shaped like the paper's Tables 1–3, so a
+//! tiny fixed-width table writer keeps them readable without pulling in a
+//! table crate.
+
+/// Formats a microsecond count as seconds with one decimal, e.g. `31.8`.
+#[must_use]
+pub fn secs(us: u64) -> String {
+    format!("{:.1}", us as f64 / 1e6)
+}
+
+/// Formats fractional seconds with one decimal, e.g. `31.8`.
+#[must_use]
+pub fn secs_f(s: f64) -> String {
+    format!("{s:.1}")
+}
+
+/// Formats a ratio with two decimals, e.g. `2.69`.
+#[must_use]
+pub fn ratio(r: f64) -> String {
+    format!("{r:.2}")
+}
+
+/// Formats a fraction as a whole-number percentage, e.g. `6%`.
+#[must_use]
+pub fn percent(f: f64) -> String {
+    format!("{:.0}%", f * 100.0)
+}
+
+/// Formats a count with thousands separators, e.g. `10,403`.
+#[must_use]
+pub fn thousands(n: u64) -> String {
+    let digits = n.to_string();
+    // Build groups of three from the right.
+    let bytes = digits.as_bytes();
+    let mut parts: Vec<&[u8]> = Vec::new();
+    let mut end = bytes.len();
+    while end > 3 {
+        parts.push(&bytes[end - 3..end]);
+        end -= 3;
+    }
+    parts.push(&bytes[..end]);
+    parts.reverse();
+    let strs: Vec<&str> = parts
+        .iter()
+        .map(|p| core::str::from_utf8(p).expect("digits are ASCII"))
+        .collect();
+    strs.join(",")
+}
+
+/// A fixed-width text table, printed column-aligned.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new(header: &[&str]) -> Self {
+        Self {
+            header: header.iter().map(|s| (*s).to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row. Short rows are padded with empty cells.
+    pub fn row(&mut self, cells: &[String]) {
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Renders the table with right-aligned cells.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let ncols = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain([self.header.len()])
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; ncols];
+        let all_rows = std::iter::once(&self.header).chain(self.rows.iter());
+        for row in all_rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let line = |row: &[String], out: &mut String| {
+            let cells: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{c:>width$}", width = widths[i]))
+                .collect();
+            out.push_str(&cells.join("  "));
+            out.push('\n');
+        };
+        line(&self.header, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            line(row, &mut out);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn secs_formats() {
+        assert_eq!(secs(31_800_000), "31.8");
+        assert_eq!(secs(0), "0.0");
+    }
+
+    #[test]
+    fn ratio_formats() {
+        assert_eq!(ratio(2.694), "2.69");
+    }
+
+    #[test]
+    fn percent_formats() {
+        assert_eq!(percent(0.061), "6%");
+        assert_eq!(percent(0.5), "50%");
+    }
+
+    #[test]
+    fn thousands_formats() {
+        assert_eq!(thousands(0), "0");
+        assert_eq!(thousands(999), "999");
+        assert_eq!(thousands(1000), "1,000");
+        assert_eq!(thousands(10403), "10,403");
+        assert_eq!(thousands(1_234_567), "1,234,567");
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["N", "Time (s)"]);
+        t.row(&["2".into(), "52.3".into()]);
+        t.row(&["10".into(), "5.1".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("Time (s)"));
+        // Right-aligned numbers: "10" and " 2" occupy the same width.
+        assert!(lines[2].starts_with(' '));
+        assert!(lines[3].starts_with("10"));
+    }
+}

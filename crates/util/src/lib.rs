@@ -1,0 +1,20 @@
+//! Small self-contained utilities shared by every CarlOS-rs crate.
+//!
+//! This crate has no knowledge of the DSM protocol. It provides:
+//!
+//! - [`rng`] — deterministic pseudo-random number generators
+//!   ([`rng::SplitMix64`], [`rng::Xoshiro256`]) used everywhere a seeded,
+//!   reproducible stream is needed (workload generation, loss injection).
+//! - [`codec`] — an explicit binary wire codec. The paper's tables report
+//!   message counts and *sizes in bytes*, so every protocol message in this
+//!   repository is serialized through this codec and its size is the size
+//!   that crosses the simulated wire.
+//! - [`fmt`] — tiny table/duration formatting helpers used by the bench
+//!   harnesses.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod fmt;
+pub mod rng;

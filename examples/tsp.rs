@@ -1,0 +1,43 @@
+//! The paper's §5.1 experiment as a runnable binary: branch-and-bound TSP
+//! on 1-4 nodes, lock version versus hybrid (message-based work queue and
+//! bound posting).
+//!
+//! Run with `cargo run --release --example tsp [-- small]`.
+
+use carlos::apps::tsp::{run_tsp, Cities, TspConfig, TspVariant};
+use carlos::sim::Bucket;
+
+fn main() {
+    let small = std::env::args().any(|a| a == "small");
+    for (variant, name) in [(TspVariant::Lock, "lock"), (TspVariant::Hybrid, "hybrid")] {
+        let mut single = 0.0;
+        for n in 1..=4usize {
+            let cfg = if small {
+                TspConfig::test(n, variant)
+            } else {
+                TspConfig::paper(n, variant)
+            };
+            let r = run_tsp(&cfg);
+            if n == 1 {
+                single = r.app.secs;
+            }
+            println!(
+                "TSP/{name} on {n} node(s): {:6.1}s  speedup {:4.2}  msgs {:>6}  avg {:>4}B  \
+                 util {:4.1}%  idle {:4.1}s/node  best tour {}",
+                r.app.secs,
+                if r.app.secs > 0.0 { single / r.app.secs } else { 0.0 },
+                r.app.messages,
+                r.app.avg_msg_bytes,
+                r.app.net_util * 100.0,
+                r.app.bucket_secs(Bucket::Idle),
+                r.best_len,
+            );
+        }
+    }
+    if small {
+        // On test-scale instances an exact oracle fits in memory.
+        let cfg = TspConfig::test(1, TspVariant::Lock);
+        let oracle = Cities::generate(cfg.n_cities, cfg.seed).held_karp();
+        println!("Held-Karp optimum for the small instance: {oracle}");
+    }
+}

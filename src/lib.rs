@@ -1,0 +1,61 @@
+//! # CarlOS-rs — message-driven relaxed consistency in a software DSM
+//!
+//! A from-scratch Rust reproduction of *"Message-Driven Relaxed Consistency
+//! in a Software Distributed Shared Memory"* (Koch, Fowler, Jul — OSDI '94),
+//! including every substrate the paper depends on:
+//!
+//! - a deterministic discrete-event **cluster simulator** with a shared
+//!   10 Mbit/s Ethernet model and a sliding-window reliable transport
+//!   ([`sim`]);
+//! - a TreadMarks-style **lazy release consistency** engine — pages, twins,
+//!   run-length-encoded diffs, vector timestamps, intervals, write notices,
+//!   multiple-writer merging, garbage collection ([`lrc`]);
+//! - the paper's contribution, **message-driven consistency**: annotated
+//!   active messages (`NONE` / `REQUEST` / `RELEASE` / `RELEASE_NT`) that
+//!   drive all coherence actions, with accept / forward / store message
+//!   disposition ([`core`]);
+//! - message-based **coordination**: distributed-queue locks, barriers
+//!   (hosting global GC), semaphores, condition variables, and shared work
+//!   queues built on store-and-forward ([`sync`]);
+//! - the paper's **applications** — TSP, Quicksort, Water — in lock and
+//!   hybrid variants ([`apps`]).
+//!
+//! # Quick start
+//!
+//! ```
+//! use carlos::core::{Annotation, CoreConfig, Runtime};
+//! use carlos::lrc::LrcConfig;
+//! use carlos::sim::{Cluster, SimConfig};
+//!
+//! // Two nodes: node 0 writes shared memory and sends a RELEASE; node 1
+//! // accepts it and observes the write (the paper's core guarantee).
+//! let mut cluster = Cluster::new(SimConfig::fast_test(), 2);
+//! cluster.spawn_node(0, |ctx| {
+//!     let mut rt = Runtime::new(ctx, LrcConfig::small_test(2), CoreConfig::fast_test());
+//!     rt.write_u32(0, 42);
+//!     rt.send(1, 1, vec![], Annotation::Release);
+//!     let _ = rt.wait_accepted(2); // Stay alive to serve the diff fetch.
+//!     rt.shutdown();
+//! });
+//! cluster.spawn_node(1, |ctx| {
+//!     let mut rt = Runtime::new(ctx, LrcConfig::small_test(2), CoreConfig::fast_test());
+//!     let _ = rt.wait_accepted(1);
+//!     assert_eq!(rt.read_u32(0), 42);
+//!     rt.send(0, 2, vec![], Annotation::None);
+//!     rt.shutdown();
+//! });
+//! cluster.run();
+//! ```
+//!
+//! See `DESIGN.md` for the system inventory and the experiment index, and
+//! `EXPERIMENTS.md` for paper-versus-measured results.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use carlos_apps as apps;
+pub use carlos_core as core;
+pub use carlos_lrc as lrc;
+pub use carlos_sim as sim;
+pub use carlos_sync as sync;
+pub use carlos_util as util;

@@ -1,0 +1,184 @@
+//! Property-based protocol fuzzing across the whole stack: random DRF
+//! workloads over random topologies, run under both coherence strategies
+//! and with loss injection, must always converge to identical contents on
+//! every node.
+
+use carlos::core::{Annotation, CoreConfig, Runtime};
+use carlos::lrc::LrcConfig;
+use carlos::sim::time::ms;
+use carlos::sim::transport::AckMode;
+use carlos::sim::{Cluster, SimConfig};
+use carlos::sync::{BarrierSpec, LockSpec};
+use proptest::prelude::*;
+
+/// One scripted operation for a node.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Write `val` at `slot` within the node's own disjoint range.
+    WriteOwn { slot: usize, val: u8 },
+    /// Increment the shared counter under the global lock.
+    LockedIncrement,
+    /// Send a RELEASE to a peer (extra synchronization edges).
+    ReleaseTo { peer: usize },
+    /// Compute for a while (shifts interleavings).
+    Compute { us: u64 },
+}
+
+fn op_strategy(n_nodes: usize) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0usize..16, any::<u8>()).prop_map(|(slot, val)| Op::WriteOwn { slot, val }),
+        Just(Op::LockedIncrement),
+        (0..n_nodes).prop_map(|peer| Op::ReleaseTo { peer }),
+        (1u64..200).prop_map(|us| Op::Compute { us }),
+    ]
+}
+
+const H_SYNC: u32 = 77;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Invalidate,
+    Update,
+    Lossy,
+}
+
+/// Runs the scripted workload and returns (final region bytes as seen by
+/// node 0, counter value, per-node agreement).
+fn run_script(scripts: &[Vec<Op>], mode: Mode) -> (Vec<u8>, u32) {
+    let n = scripts.len();
+    let region = 64 * 16 * (n + 1);
+    let sim = match mode {
+        Mode::Lossy => SimConfig::fast_test().with_loss(0.10, 0xF422),
+        _ => SimConfig::fast_test(),
+    };
+    let out = carlos::apps::harness::Collector::<Vec<u8>>::new();
+    let counter_out = carlos::apps::harness::Collector::<u32>::new();
+    let mut cluster = Cluster::new(sim, n);
+    for (node, script) in scripts.iter().enumerate() {
+        let script = script.clone();
+        let out = out.clone();
+        let counter_out = counter_out.clone();
+        cluster.spawn_node(node as u32, move |ctx| {
+            let lrc = LrcConfig {
+                n_nodes: n,
+                page_size: 64,
+                region_bytes: region,
+                gc_threshold_records: 200, // Force GCs under fuzz too.
+                ownership: carlos::lrc::PageOwnership::SingleOwner(0),
+            };
+            let core = match mode {
+                Mode::Update => CoreConfig::fast_test().with_update_strategy(),
+                _ => CoreConfig::fast_test(),
+            };
+            let mut rt = match mode {
+                Mode::Lossy => Runtime::with_ack_mode(
+                    ctx,
+                    lrc,
+                    core,
+                    AckMode::Arq {
+                        window: 16,
+                        rto: ms(5),
+                    },
+                ),
+                _ => Runtime::new(ctx, lrc, core),
+            };
+            let sys = carlos::sync::install(&mut rt);
+            let lock = LockSpec::new(1, 0);
+            let barrier = BarrierSpec::global(9, 0);
+            // Own slots start after the shared counter page.
+            let base = 64 * 16 * (node + 1);
+            for op in &script {
+                match op {
+                    Op::WriteOwn { slot, val } => {
+                        rt.write_bytes(base + slot * 8, &[*val]);
+                    }
+                    Op::LockedIncrement => {
+                        sys.acquire(&mut rt, lock);
+                        let v = rt.read_u32(0);
+                        rt.write_u32(0, v + 1);
+                        sys.release(&mut rt, lock);
+                    }
+                    Op::ReleaseTo { peer } => {
+                        if *peer != node {
+                            rt.send(*peer as u32, H_SYNC, vec![], Annotation::Release);
+                        }
+                    }
+                    Op::Compute { us } => {
+                        rt.compute(carlos::sim::time::us(*us));
+                    }
+                }
+            }
+            // Drain any sync releases aimed at us before the barrier.
+            rt.poll();
+            sys.barrier(&mut rt, barrier, 0);
+            let mut buf = vec![0u8; region];
+            rt.read_bytes(0, &mut buf);
+            let counter = rt.read_u32(0);
+            out.put(node as u32, buf);
+            counter_out.put(node as u32, counter);
+            sys.barrier(&mut rt, barrier, 1);
+            rt.shutdown();
+        });
+    }
+    cluster.run();
+    let views = out.take();
+    let first = views[0].1.clone();
+    for (node, view) in &views {
+        assert_eq!(view, &first, "node {node} diverged after the barrier");
+    }
+    let counters = counter_out.take();
+    let c0 = counters[0].1;
+    for (node, c) in &counters {
+        assert_eq!(*c, c0, "node {node} counter diverged");
+    }
+    (first, c0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12, // Each case runs three full cluster simulations.
+        .. ProptestConfig::default()
+    })]
+
+    /// All three modes converge, agree across nodes, and agree with the
+    /// scripted expectations (own-range writes are last-writer-wins by
+    /// construction; the counter equals the number of locked increments).
+    #[test]
+    fn fuzzed_workloads_converge(
+        scripts in proptest::collection::vec(
+            proptest::collection::vec(op_strategy(3), 1..25),
+            3..=3,
+        )
+    ) {
+        let expected_counter: u32 = scripts
+            .iter()
+            .flatten()
+            .filter(|op| matches!(op, Op::LockedIncrement))
+            .count() as u32;
+
+        let (inv_view, inv_counter) = run_script(&scripts, Mode::Invalidate);
+        prop_assert_eq!(inv_counter, expected_counter);
+
+        // Own-range writes: the last scripted write per slot must be there.
+        for (node, script) in scripts.iter().enumerate() {
+            let base = 64 * 16 * (node + 1);
+            let mut last: std::collections::BTreeMap<usize, u8> = Default::default();
+            for op in script {
+                if let Op::WriteOwn { slot, val } = op {
+                    last.insert(*slot, *val);
+                }
+            }
+            for (slot, val) in last {
+                prop_assert_eq!(inv_view[base + slot * 8], val, "node {} slot {}", node, slot);
+            }
+        }
+
+        let (upd_view, upd_counter) = run_script(&scripts, Mode::Update);
+        prop_assert_eq!(upd_counter, expected_counter);
+        prop_assert_eq!(&upd_view, &inv_view, "strategies disagree");
+
+        let (lossy_view, lossy_counter) = run_script(&scripts, Mode::Lossy);
+        prop_assert_eq!(lossy_counter, expected_counter);
+        prop_assert_eq!(&lossy_view, &inv_view, "loss recovery disagrees");
+    }
+}
