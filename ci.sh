@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Tier-1 gate: build, full test suite, lints on the hot-path crates, and
+# a quick wallclock bench run refreshing BENCH_hotpath.json.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test (workspace)"
+cargo test --workspace -q
+
+echo "==> cargo clippy -D warnings (hot-path crates)"
+cargo clippy -p carlos-util -p carlos-sim -p carlos-lrc -p carlos-core \
+    -p carlos-bench -p bytes -p criterion -p proptest -p parking_lot \
+    --all-targets -- -D warnings
+
+echo "==> wallclock bench (quick mode) -> BENCH_hotpath.json"
+CARLOS_BENCH_QUICK=1 cargo bench -p carlos-bench --bench wallclock
+
+echo "ci.sh: all green"

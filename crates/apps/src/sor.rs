@@ -128,8 +128,8 @@ pub fn sequential_reference(cfg: &SorConfig) -> Vec<f64> {
 fn initial_grid(rows: usize, cols: usize) -> Vec<f64> {
     let mut g = vec![0.0f64; rows * cols];
     // Hot top edge, cold bottom edge, zero interior: heat diffuses down.
-    for c in 0..cols {
-        g[c] = 100.0;
+    for cell in &mut g[..cols] {
+        *cell = 100.0;
     }
     g
 }

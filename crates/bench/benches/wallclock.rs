@@ -1,0 +1,275 @@
+//! Host wall-clock benchmarks of the hot paths touched by the
+//! performance overhaul: word-level diff creation vs the retained naive
+//! byte scanner, diff application, the wire codec, and end-to-end
+//! 4-node TSP/SOR runs (host seconds, not virtual time).
+//!
+//! Run with `cargo bench -p carlos-bench --bench wallclock`. Results are
+//! written to `BENCH_hotpath.json` at the repository root (override the
+//! path with `CARLOS_BENCH_OUT`); `CARLOS_BENCH_QUICK=1` shrinks warmup,
+//! sample counts, and end-to-end repetitions for CI.
+//!
+//! The "before" numbers come from the retained reference implementations:
+//! `Diff::create_naive` is the pre-overhaul byte scanner kept as the
+//! executable specification, and `encode_finish_copy` reproduces the old
+//! `finish_vec` full-buffer copy.
+
+use std::time::Instant;
+
+use carlos_apps::sor::{run_sor, SorConfig};
+use carlos_apps::tsp::{run_tsp, TspConfig, TspVariant};
+use carlos_core::{Annotation, Consistency, Message};
+use carlos_lrc::{Diff, IntervalRecord, Vc};
+use carlos_util::rng::Xoshiro256;
+use criterion::{black_box, BatchSize, Criterion};
+
+/// The acceptance page size: diffing a mostly-clean 4 KiB page is the
+/// common case the word-level scanner must win on.
+const PAGE: usize = 4096;
+
+/// A (twin, current) pair where roughly one byte in `change_every` moved.
+/// `change_every == 0` means no changes (fully clean).
+fn page_pair(change_every: usize) -> (Vec<u8>, Vec<u8>) {
+    let mut rng = Xoshiro256::new(42);
+    let twin: Vec<u8> = (0..PAGE).map(|_| rng.next_u64() as u8).collect();
+    let mut cur = twin.clone();
+    if change_every > 0 {
+        let mut i = change_every / 2;
+        while i < PAGE {
+            cur[i] = cur[i].wrapping_add(1);
+            i += change_every;
+        }
+    }
+    (twin, cur)
+}
+
+/// Dirtiness ladder: clean page, one cache-line-ish run, sparse, dense,
+/// fully rewritten.
+const DIRTINESS: &[(&str, usize)] = &[
+    ("clean", 0),
+    ("mostly_clean_1_in_512", 512),
+    ("sparse_1_in_64", 64),
+    ("dense_1_in_8", 8),
+    ("all_dirty", 1),
+];
+
+fn bench_diff_create(c: &mut Criterion) {
+    let mut g = c.benchmark_group("diff_create");
+    for &(label, every) in DIRTINESS {
+        let (twin, cur) = page_pair(every);
+        g.bench_function(format!("word_{label}"), |b| {
+            b.iter(|| Diff::create(black_box(&twin), black_box(&cur)));
+        });
+        g.bench_function(format!("naive_{label}"), |b| {
+            b.iter(|| Diff::create_naive(black_box(&twin), black_box(&cur)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_diff_apply(c: &mut Criterion) {
+    let mut g = c.benchmark_group("diff_apply");
+    for &(label, every) in DIRTINESS {
+        if every == 0 {
+            continue; // An empty diff applies in no time; nothing to see.
+        }
+        let (twin, cur) = page_pair(every);
+        let diff = Diff::create(&twin, &cur);
+        g.bench_function(label, |b| {
+            b.iter_batched(
+                || twin.clone(),
+                |mut page| {
+                    diff.apply(&mut page);
+                    page
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+/// A RELEASE message shaped like real lock-transfer traffic: a required
+/// timestamp plus a handful of interval records.
+fn release_message() -> Message {
+    let n = 8;
+    let mut required = Vc::new(n);
+    for i in 0..n as u32 {
+        required.set(i, 17 + i);
+    }
+    let records = (0..6u32)
+        .map(|k| {
+            let mut vc = Vc::new(n);
+            vc.set(k % n as u32, 18 + k);
+            IntervalRecord {
+                node: k % n as u32,
+                index: 18 + k,
+                vc,
+                pages: (k..k + 4).collect(),
+            }
+        })
+        .collect();
+    Message {
+        src: 1,
+        origin: 1,
+        handler: 3,
+        annotation: Annotation::Release,
+        body: vec![0xAB; 64],
+        consistency: Consistency::Release {
+            required,
+            records,
+            diffs: Vec::new(),
+        },
+    }
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("codec");
+    let msg = release_message();
+    let pad = 32;
+    g.bench_function("encode_framed", |b| {
+        b.iter(|| black_box(&msg).to_framed(pad));
+    });
+    g.bench_function("encode_finish_vec", |b| {
+        b.iter(|| black_box(&msg).to_wire_bytes(pad));
+    });
+    // The pre-overhaul cost: encode, then copy the whole buffer out again
+    // (what `finish_vec` used to do via `to_vec`).
+    g.bench_function("encode_finish_copy", |b| {
+        b.iter(|| black_box(&msg).to_wire_bytes(pad).clone());
+    });
+    let bytes = msg.to_wire_bytes(pad);
+    g.bench_function("decode", |b| {
+        b.iter(|| Message::from_wire_bytes(1, black_box(&bytes)).expect("decode"));
+    });
+    g.finish();
+}
+
+/// One timed end-to-end measurement: median host seconds over `reps` runs.
+fn time_e2e<F: FnMut() -> u64>(reps: usize, mut run: F) -> (f64, u64) {
+    let mut secs: Vec<f64> = Vec::with_capacity(reps);
+    let mut virtual_ns = 0;
+    for _ in 0..reps {
+        let start = Instant::now();
+        virtual_ns = run();
+        secs.push(start.elapsed().as_secs_f64());
+    }
+    secs.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+    (secs[secs.len() / 2], virtual_ns)
+}
+
+struct E2eResult {
+    id: &'static str,
+    host_seconds: f64,
+    virtual_ns: u64,
+}
+
+/// End-to-end 4-node runs. These exercise every hot path at once — page
+/// faults, diffing, codec, transport — and report *host* seconds (the
+/// virtual-time results are pinned elsewhere and must not move).
+fn bench_e2e(quick: bool) -> Vec<E2eResult> {
+    let reps = if quick { 1 } else { 3 };
+    let mut out = Vec::new();
+
+    let mut tsp_cfg = TspConfig::test(4, TspVariant::Lock);
+    tsp_cfg.n_cities = 12;
+    let (host, vns) = time_e2e(reps, || {
+        let r = run_tsp(&tsp_cfg);
+        black_box(r.app.report.elapsed)
+    });
+    eprintln!("e2e  tsp_lock_4node_12c: {host:.3} host-s ({} virtual-ms)", vns / 1_000_000);
+    out.push(E2eResult {
+        id: "tsp_lock_4node_12c",
+        host_seconds: host,
+        virtual_ns: vns,
+    });
+
+    let mut sor_cfg = SorConfig::test(4);
+    sor_cfg.rows = 130;
+    sor_cfg.cols = 64;
+    sor_cfg.iters = 4;
+    let (host, vns) = time_e2e(reps, || {
+        let r = run_sor(&sor_cfg);
+        black_box(r.app.report.elapsed)
+    });
+    eprintln!("e2e  sor_4node_130x64: {host:.3} host-s ({} virtual-ms)", vns / 1_000_000);
+    out.push(E2eResult {
+        id: "sor_4node_130x64",
+        host_seconds: host,
+        virtual_ns: vns,
+    });
+
+    out
+}
+
+fn median_of(c: &Criterion, group: &str, id: &str) -> Option<f64> {
+    c.results()
+        .iter()
+        .find(|r| r.group == group && r.id == id)
+        .map(|r| r.median_ns)
+}
+
+fn write_json(c: &Criterion, e2e: &[E2eResult], quick: bool) {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"generated_by\": \"cargo bench -p carlos-bench --bench wallclock\",\n");
+    s.push_str(&format!("  \"quick_mode\": {quick},\n"));
+    s.push_str("  \"benches\": [\n");
+    let results = c.results();
+    for (i, r) in results.iter().enumerate() {
+        let comma = if i + 1 == results.len() { "" } else { "," };
+        s.push_str(&format!(
+            "    {{\"group\": \"{}\", \"id\": \"{}\", \"median_ns\": {:.1}, \"iters\": {}}}{comma}\n",
+            r.group, r.id, r.median_ns, r.iters
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"e2e\": [\n");
+    for (i, r) in e2e.iter().enumerate() {
+        let comma = if i + 1 == e2e.len() { "" } else { "," };
+        s.push_str(&format!(
+            "    {{\"id\": \"{}\", \"host_seconds\": {:.4}, \"virtual_ns\": {}}}{comma}\n",
+            r.id, r.host_seconds, r.virtual_ns
+        ));
+    }
+    s.push_str("  ],\n");
+
+    // Derived before/after ratios (word-level scanner vs the naive
+    // reference): the acceptance bar is >= 3x on a mostly-clean 4 KiB page.
+    let speedup = |label: &str| -> Option<f64> {
+        let word = median_of(c, "diff_create", &format!("word_{label}"))?;
+        let naive = median_of(c, "diff_create", &format!("naive_{label}"))?;
+        (word > 0.0).then(|| naive / word)
+    };
+    s.push_str("  \"derived\": {\n");
+    let mut lines = Vec::new();
+    for &(label, _) in DIRTINESS {
+        if let Some(x) = speedup(label) {
+            lines.push(format!(
+                "    \"diff_create_speedup_{label}\": {x:.2}"
+            ));
+        }
+    }
+    s.push_str(&lines.join(",\n"));
+    s.push_str("\n  }\n}\n");
+
+    let path = std::env::var("CARLOS_BENCH_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_hotpath.json").to_string()
+    });
+    std::fs::write(&path, s).expect("write BENCH_hotpath.json");
+    eprintln!("wrote {path}");
+    if let Some(x) = speedup("mostly_clean_1_in_512") {
+        eprintln!("diff_create speedup on mostly-clean 4 KiB page: {x:.2}x (target >= 3x)");
+    }
+}
+
+fn main() {
+    let quick =
+        std::env::var("CARLOS_BENCH_QUICK").is_ok_and(|v| v != "0" && !v.is_empty());
+    let mut c = Criterion::default().configure_from_args();
+    bench_diff_create(&mut c);
+    bench_diff_apply(&mut c);
+    bench_codec(&mut c);
+    let e2e = bench_e2e(quick);
+    write_json(&c, &e2e, quick);
+    c.final_summary();
+}

@@ -49,6 +49,6 @@ pub mod runtime;
 pub use annotation::Annotation;
 pub use config::{CoreConfig, Strategy};
 pub use heap::CoherentHeap;
-pub use message::{AcceptedMsg, Message};
+pub use message::{AcceptedMsg, Consistency, Message};
 pub use multithread::{SharedRuntime, ThreadEvent, Worker};
 pub use runtime::{Env, Runtime};

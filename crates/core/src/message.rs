@@ -1,6 +1,7 @@
 //! User-level message representation and wire format.
 
 use carlos_lrc::{DiffRecord, IntervalRecord, Vc};
+use carlos_sim::transport::FrameBuf;
 use carlos_util::codec::{DecodeError, Decoder, Encoder, Wire};
 
 use crate::annotation::Annotation;
@@ -34,6 +35,18 @@ pub enum Consistency {
     },
 }
 
+impl Consistency {
+    /// The minimum timestamp a recipient must reach before acting on the
+    /// message, if it carries one (releases only).
+    #[must_use]
+    pub fn required(&self) -> Option<&Vc> {
+        match self {
+            Self::Release { required, .. } => Some(required),
+            Self::None | Self::Request { .. } => None,
+        }
+    }
+}
+
 /// A user-level CarlOS message as seen by a low-level handler.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Message {
@@ -63,25 +76,41 @@ impl Message {
     #[must_use]
     pub fn to_wire_bytes(&self, pad: usize) -> Vec<u8> {
         let mut enc = Encoder::new();
-        self.annotation.encode(&mut enc);
+        self.encode_into(&mut enc, pad);
+        enc.finish_vec()
+    }
+
+    /// Encodes like [`Message::to_wire_bytes`], but with transport-header
+    /// headroom reserved in front so the transport frames the message in
+    /// place — the encoder's buffer becomes the wire datagram (and, under
+    /// ARQ, the retransmission-queue entry) without further copying.
+    #[must_use]
+    pub fn to_framed(&self, pad: usize) -> FrameBuf {
+        let mut enc = Encoder::new();
+        enc.put_raw(&[0u8; FrameBuf::HEADROOM]);
+        self.encode_into(&mut enc, pad);
+        FrameBuf::from_reserved(enc.finish_mut())
+    }
+
+    fn encode_into(&self, enc: &mut Encoder, pad: usize) {
+        self.annotation.encode(enc);
         enc.put_u32(self.handler);
         enc.put_u32(self.origin);
         enc.put_bytes(&vec![0u8; pad]);
         enc.put_bytes(&self.body);
         match &self.consistency {
             Consistency::None => {}
-            Consistency::Request { vt } => vt.encode(&mut enc),
+            Consistency::Request { vt } => vt.encode(enc),
             Consistency::Release {
                 required,
                 records,
                 diffs,
             } => {
-                required.encode(&mut enc);
+                required.encode(enc);
                 enc.put_seq(records, |enc, r| r.encode(enc));
                 enc.put_seq(diffs, |enc, d| d.encode(enc));
             }
         }
-        enc.finish_vec()
     }
 
     /// Decodes a message received from `src`.

@@ -119,7 +119,7 @@ impl Core {
             Annotation::ReleaseNt => self.ctx.count("carlos.sent.release_nt", 1),
         }
         let pad = self.cfg.wire_header_pad;
-        self.transport.send(dst, msg.to_wire_bytes(pad));
+        self.transport.send(dst, msg.to_framed(pad));
     }
 
     /// Builds a user message from this node with the given annotation,
@@ -203,14 +203,18 @@ impl Core {
         };
         self.ctx.count("carlos.sent.system", 1);
         let pad = self.cfg.wire_header_pad;
-        self.transport.send(dst, msg.to_wire_bytes(pad));
+        self.transport.send(dst, msg.to_framed(pad));
     }
 
     /// Performs the acquire side for an accepted message. Returns `true`
     /// when acceptance completed (the message may be queued to user level),
     /// `false` when it is pending on missing consistency information.
-    fn do_accept(&mut self, msg: &Message) -> bool {
-        match &msg.consistency {
+    ///
+    /// Takes the message by `&mut` so carried diffs move into the per-page
+    /// buffer instead of being cloned; records are applied by reference.
+    fn do_accept(&mut self, msg: &mut Message) -> bool {
+        let origin = msg.origin;
+        match &mut msg.consistency {
             Consistency::None | Consistency::Request { .. } => true,
             Consistency::Release {
                 required,
@@ -226,7 +230,7 @@ impl Core {
                     + self.cfg.per_notice * notices as u64;
                 self.charge(cost);
                 self.ctx.count("carlos.notices_applied", notices as u64);
-                self.engine.apply_records(records.clone());
+                self.engine.apply_records(records);
                 // The gap check must precede any buffered-diff application:
                 // a non-dominated required timestamp proves records are
                 // missing, and diffs must not apply against a notice set
@@ -240,10 +244,10 @@ impl Core {
                     let mut apply_cost = 0;
                     let mut pages: std::collections::BTreeSet<u32> =
                         std::collections::BTreeSet::new();
-                    for d in diffs {
+                    for d in std::mem::take(diffs) {
                         apply_cost += self.cfg.diff_apply_cost(d.diff.modified_bytes());
                         pages.insert(d.page);
-                        self.pending_diffs.entry(d.page).or_default().push(d.clone());
+                        self.pending_diffs.entry(d.page).or_default().push(d);
                     }
                     self.charge(apply_cost);
                     self.ctx.count("carlos.update_diffs_received", 1);
@@ -262,10 +266,29 @@ impl Core {
                     let mut body = Encoder::new();
                     self.engine.vt().encode(&mut body);
                     required.encode(&mut body);
-                    self.send_sys(msg.origin, SYS_IVAL_REQ, body.finish_vec());
+                    self.send_sys(origin, SYS_IVAL_REQ, body.finish_vec());
                     false
                 }
             }
+        }
+    }
+
+    /// Runs the acquire side for `msg`, then either queues it for user
+    /// level or parks it as a pending accept awaiting repair.
+    fn finish_or_pend(&mut self, mut msg: Message) {
+        if self.do_accept(&mut msg) {
+            self.complete_accept(msg);
+        } else {
+            let required = msg
+                .consistency
+                .required()
+                .cloned()
+                .expect("only releases can pend");
+            self.pending_accepts.push(PendingAccept {
+                msg,
+                required,
+                rounds: 0,
+            });
         }
     }
 
@@ -382,7 +405,7 @@ impl Core {
                     .expect("ival reply records");
                 let notices: usize = records.iter().map(|r| r.pages.len()).sum();
                 self.charge(self.cfg.per_notice * notices as u64);
-                self.engine.apply_records(records);
+                self.engine.apply_records(&records);
                 self.retry_pending_accepts();
             }
             other => panic!("unknown system handler id {other:#x}"),
@@ -539,19 +562,7 @@ impl Env<'_> {
     /// information must first be repaired).
     pub fn accept(&mut self, msg: Message) {
         self.disposed = true;
-        if self.core.do_accept(&msg) {
-            self.core.complete_accept(msg);
-        } else {
-            let required = match &msg.consistency {
-                Consistency::Release { required, .. } => required.clone(),
-                _ => unreachable!("only releases can pend"),
-            };
-            self.core.pending_accepts.push(PendingAccept {
-                msg,
-                required,
-                rounds: 0,
-            });
-        }
+        self.core.finish_or_pend(msg);
     }
 
     /// Consumes `msg` without delivering it to user level and without any
@@ -652,19 +663,7 @@ impl Env<'_> {
             .stored
             .remove(&id)
             .expect("accept_stored: unknown store token");
-        if self.core.do_accept(&msg) {
-            self.core.complete_accept(msg);
-        } else {
-            let required = match &msg.consistency {
-                Consistency::Release { required, .. } => required.clone(),
-                _ => unreachable!("only releases can pend"),
-            };
-            self.core.pending_accepts.push(PendingAccept {
-                msg,
-                required,
-                rounds: 0,
-            });
-        }
+        self.core.finish_or_pend(msg);
     }
 
     /// Sends a new user message (handlers may reply or notify third

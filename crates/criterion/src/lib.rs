@@ -1,0 +1,267 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! member implements the subset of the criterion API the benches use:
+//! [`Criterion`], `benchmark_group`, `bench_function`, [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`BatchSize`], and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Measurement model: each benchmark is warmed up, then timed over a fixed
+//! number of samples; the reported figure is the median ns/iter. Set
+//! `CARLOS_BENCH_QUICK=1` to shrink warmup and sample counts (used by
+//! `ci.sh`). Completed measurements are retained on the [`Criterion`]
+//! object ([`Criterion::results`]) so harness-mode benches can export them
+//! (e.g. to `BENCH_hotpath.json`).
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup; accepted for source compatibility.
+/// This shim always runs setup once per routine invocation and times only
+/// the routine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// One completed measurement.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Group name (from `benchmark_group`).
+    pub group: String,
+    /// Benchmark id within the group.
+    pub id: String,
+    /// Median nanoseconds per iteration across samples.
+    pub median_ns: f64,
+    /// Total timed iterations contributing to the estimate.
+    pub iters: u64,
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    warmup: Duration,
+    sample_target: Duration,
+    samples: usize,
+    results: Vec<BenchResult>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let quick = std::env::var("CARLOS_BENCH_QUICK")
+            .is_ok_and(|v| v != "0" && !v.is_empty());
+        if quick {
+            Self {
+                warmup: Duration::from_millis(20),
+                sample_target: Duration::from_millis(5),
+                samples: 9,
+                results: Vec::new(),
+            }
+        } else {
+            Self {
+                warmup: Duration::from_millis(200),
+                sample_target: Duration::from_millis(25),
+                samples: 21,
+                results: Vec::new(),
+            }
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepted for source compatibility with real criterion binaries.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Benchmarks directly on the driver (group name = "").
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(String::new(), id.into(), f);
+        self
+    }
+
+    /// All measurements completed so far, in execution order.
+    #[must_use]
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Prints the closing summary line.
+    pub fn final_summary(&self) {
+        eprintln!("criterion shim: {} benchmarks measured", self.results.len());
+    }
+
+    fn run_one<F>(&mut self, group: String, id: String, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        // Warmup: run the routine repeatedly until the warmup budget is
+        // spent, and use the observed rate to size measurement samples.
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        let warm_start = Instant::now();
+        let mut per_iter = Duration::from_nanos(100);
+        while warm_start.elapsed() < self.warmup {
+            b.elapsed = Duration::ZERO;
+            f(&mut b);
+            if b.elapsed > Duration::ZERO {
+                per_iter = b.elapsed / u32::try_from(b.iters).unwrap_or(u32::MAX);
+            }
+            let target_iters = if per_iter.is_zero() {
+                b.iters.saturating_mul(2)
+            } else {
+                (self.sample_target.as_nanos() / per_iter.as_nanos().max(1)) as u64
+            };
+            b.iters = target_iters.clamp(1, 1 << 28);
+        }
+
+        let mut sample_ns: Vec<f64> = Vec::with_capacity(self.samples);
+        let mut total_iters = 0u64;
+        for _ in 0..self.samples {
+            b.elapsed = Duration::ZERO;
+            f(&mut b);
+            total_iters += b.iters;
+            #[allow(clippy::cast_precision_loss)]
+            sample_ns.push(b.elapsed.as_nanos() as f64 / b.iters as f64);
+        }
+        sample_ns.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+        let median_ns = sample_ns[sample_ns.len() / 2];
+
+        let label = if group.is_empty() {
+            id.clone()
+        } else {
+            format!("{group}/{id}")
+        };
+        eprintln!("bench {label:<48} {median_ns:>12.1} ns/iter ({total_iters} iters)");
+        self.results.push(BenchResult {
+            group,
+            id,
+            median_ns,
+            iters: total_iters,
+        });
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Measures one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let group = self.name.clone();
+        self.criterion.run_one(group, id.into(), f);
+        self
+    }
+
+    /// Accepted for source compatibility; measurement already happened.
+    pub fn finish(self) {}
+}
+
+/// Timing context handed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the sample's iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` over fresh inputs from `setup`; only the routine is
+    /// on the clock.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut elapsed = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            let out = routine(input);
+            elapsed += start.elapsed();
+            drop(black_box(out));
+        }
+        self.elapsed = elapsed;
+    }
+}
+
+/// Bundles benchmark functions into a group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $($group(&mut c);)+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_records() {
+        std::env::set_var("CARLOS_BENCH_QUICK", "1");
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("demo");
+            g.bench_function("add", |b| b.iter(|| black_box(2u64) + black_box(3u64)));
+            g.bench_function("batched", |b| {
+                b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput);
+            });
+            g.finish();
+        }
+        let r = c.results();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r[0].group, "demo");
+        assert_eq!(r[0].id, "add");
+        assert!(r[0].median_ns >= 0.0);
+        assert!(r[1].iters > 0);
+    }
+}

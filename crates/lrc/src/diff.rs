@@ -27,6 +27,50 @@ pub struct Diff {
     pub runs: Vec<Run>,
 }
 
+/// SWAR constants for the has-zero-byte test: `x` contains a zero byte iff
+/// `(x - LOW_BITS) & !x & HIGH_BITS != 0`.
+const LOW_BITS: u64 = 0x0101_0101_0101_0101;
+const HIGH_BITS: u64 = 0x8080_8080_8080_8080;
+
+#[inline]
+fn load_word(s: &[u8], i: usize) -> u64 {
+    u64::from_ne_bytes(s[i..i + 8].try_into().expect("8-byte chunk"))
+}
+
+/// First index `>= i` where the slices disagree (or `len` if none): whole
+/// equal words are skipped 8 bytes at a time; bytes are only examined
+/// inside the first differing word.
+#[inline]
+fn first_mismatch(a: &[u8], b: &[u8], mut i: usize) -> usize {
+    let n = a.len();
+    while i + 8 <= n && load_word(a, i) == load_word(b, i) {
+        i += 8;
+    }
+    while i < n && a[i] == b[i] {
+        i += 1;
+    }
+    i
+}
+
+/// First index `>= i` where the slices agree (or `len` if none): words in
+/// which all 8 bytes differ (their XOR has no zero byte) are skipped whole;
+/// bytes are only examined inside the first word holding an equal byte.
+#[inline]
+fn first_match(a: &[u8], b: &[u8], mut i: usize) -> usize {
+    let n = a.len();
+    while i + 8 <= n {
+        let x = load_word(a, i) ^ load_word(b, i);
+        if x.wrapping_sub(LOW_BITS) & !x & HIGH_BITS != 0 {
+            break;
+        }
+        i += 8;
+    }
+    while i < n && a[i] != b[i] {
+        i += 1;
+    }
+    i
+}
+
 impl Diff {
     /// Computes the diff that rewrites `twin` into `current`.
     ///
@@ -35,6 +79,57 @@ impl Diff {
     /// Panics if the slices have different lengths.
     #[must_use]
     pub fn create(twin: &[u8], current: &[u8]) -> Self {
+        let mut scratch = Vec::new();
+        Self::create_with_scratch(twin, current, &mut scratch)
+    }
+
+    /// [`Diff::create`] with a caller-owned scratch vector for run-boundary
+    /// assembly, so a hot caller (the LRC engine diffing on every release)
+    /// amortizes the boundary allocation across captures. The result is
+    /// identical to [`Diff::create_naive`]; the scan compares a word at a
+    /// time and touches individual bytes only inside boundary words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    #[must_use]
+    pub fn create_with_scratch(
+        twin: &[u8],
+        current: &[u8],
+        scratch: &mut Vec<(u32, u32)>,
+    ) -> Self {
+        assert_eq!(twin.len(), current.len(), "twin/page size mismatch");
+        scratch.clear();
+        let n = twin.len();
+        let mut i = 0;
+        while i < n {
+            i = first_mismatch(twin, current, i);
+            if i >= n {
+                break;
+            }
+            let start = i;
+            i = first_match(twin, current, i + 1);
+            scratch.push((start as u32, i as u32));
+        }
+        let runs = scratch
+            .iter()
+            .map(|&(start, end)| Run {
+                offset: start,
+                data: current[start as usize..end as usize].to_vec(),
+            })
+            .collect();
+        Self { runs }
+    }
+
+    /// The straightforward byte-at-a-time diff. Kept as the executable
+    /// specification for the word-level scan (property tests assert the two
+    /// agree) and as the "before" side of the hot-path benchmarks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    #[must_use]
+    pub fn create_naive(twin: &[u8], current: &[u8]) -> Self {
         assert_eq!(twin.len(), current.len(), "twin/page size mismatch");
         let mut runs = Vec::new();
         let mut i = 0;
@@ -219,6 +314,53 @@ mod tests {
             let mut rebuilt = twin.clone();
             d.apply(&mut rebuilt);
             assert_eq!(rebuilt, cur);
+        }
+    }
+
+    #[test]
+    fn word_scan_matches_naive_on_random_pages() {
+        let mut rng = carlos_util::rng::Xoshiro256::new(99);
+        // Unaligned lengths on purpose: the word loop must hand off to the
+        // byte tail correctly.
+        for n in [0usize, 1, 7, 8, 9, 63, 64, 65, 256, 1021] {
+            for _ in 0..20 {
+                let twin: Vec<u8> = (0..n).map(|_| rng.next_u64() as u8).collect();
+                let mut cur = twin.clone();
+                for _ in 0..rng.next_below(32) {
+                    if n == 0 {
+                        break;
+                    }
+                    let i = rng.next_below(n as u64) as usize;
+                    cur[i] = rng.next_u64() as u8;
+                }
+                assert_eq!(Diff::create(&twin, &cur), Diff::create_naive(&twin, &cur));
+            }
+        }
+    }
+
+    #[test]
+    fn word_scan_matches_naive_all_dirty_and_all_clean() {
+        for n in [8usize, 13, 64, 4096] {
+            let twin = vec![0xAAu8; n];
+            let dirty = vec![0x55u8; n];
+            assert_eq!(
+                Diff::create(&twin, &dirty),
+                Diff::create_naive(&twin, &dirty)
+            );
+            assert_eq!(Diff::create(&twin, &dirty).runs.len(), 1);
+            assert!(Diff::create(&twin, &twin).is_empty());
+        }
+    }
+
+    #[test]
+    fn scratch_is_reusable_across_captures() {
+        let mut scratch = Vec::new();
+        let twin = vec![0u8; 128];
+        for round in 0..4u8 {
+            let mut cur = twin.clone();
+            cur[round as usize * 20] = round + 1;
+            let d = Diff::create_with_scratch(&twin, &cur, &mut scratch);
+            assert_eq!(d, Diff::create_naive(&twin, &cur));
         }
     }
 

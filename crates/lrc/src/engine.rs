@@ -94,6 +94,11 @@ pub struct LrcEngine {
     /// self-created diffs (served to others) and fetched ones (kept, as in
     /// TreadMarks, until garbage collection).
     diffs: BTreeMap<(u32, PageId), Vec<DiffRecord>>,
+    /// `log2(page_size)` when the page size is a power of two (every
+    /// standard config); enables the single-page access fast path.
+    page_shift: Option<u32>,
+    /// Reusable run-boundary buffer for [`Diff::create_with_scratch`].
+    diff_scratch: Vec<(u32, u32)>,
     stats: EngineStats,
 }
 
@@ -159,6 +164,11 @@ impl LrcEngine {
             dirty: BTreeSet::new(),
             intervals: IntervalStore::new(),
             diffs: BTreeMap::new(),
+            page_shift: cfg
+                .page_size
+                .is_power_of_two()
+                .then(|| cfg.page_size.trailing_zeros()),
+            diff_scratch: Vec::new(),
             stats: EngineStats::default(),
             cfg,
         }
@@ -212,6 +222,11 @@ impl LrcEngine {
 
     /// Reads `buf.len()` bytes starting at `addr` into `buf`.
     ///
+    /// The common case — a non-empty access hitting one resident page — is
+    /// a single state-table load plus one slice copy; everything else
+    /// (faults, page straddles, odd page sizes) is outlined into the cold
+    /// slow path.
+    ///
     /// # Errors
     ///
     /// Returns the demands needed to make the first inaccessible page
@@ -222,6 +237,23 @@ impl LrcEngine {
     ///
     /// Panics if the range extends beyond the coherent region.
     pub fn read(&mut self, addr: usize, buf: &mut [u8]) -> Result<(), Vec<Demand>> {
+        if let Some(shift) = self.page_shift {
+            let end = addr + buf.len();
+            let page = addr >> shift;
+            if !buf.is_empty() && end <= self.cfg.region_bytes && (end - 1) >> shift == page {
+                let meta = &self.pages[page];
+                if matches!(meta.state, PageState::ReadOnly | PageState::ReadWrite) {
+                    let off = addr & (self.cfg.page_size - 1);
+                    buf.copy_from_slice(&meta.data[off..off + buf.len()]);
+                    return Ok(());
+                }
+            }
+        }
+        self.read_slow(addr, buf)
+    }
+
+    #[cold]
+    fn read_slow(&mut self, addr: usize, buf: &mut [u8]) -> Result<(), Vec<Demand>> {
         assert!(
             addr + buf.len() <= self.cfg.region_bytes,
             "read beyond coherent region: {addr}+{}",
@@ -244,6 +276,13 @@ impl LrcEngine {
 
     /// Writes `data` starting at `addr`.
     ///
+    /// The common case — a non-empty access hitting one already
+    /// write-enabled page — is a single state-table load plus one slice
+    /// copy. Write faults, page straddles, and diagnostic tracing live in
+    /// the cold slow path. (A `ReadWrite` page always has its twin and its
+    /// dirty-set entry from the faulting transition, so the fast path has
+    /// no bookkeeping to do.)
+    ///
     /// # Errors
     ///
     /// Returns the demands needed to make the first inaccessible page
@@ -253,6 +292,27 @@ impl LrcEngine {
     ///
     /// Panics if the range extends beyond the coherent region.
     pub fn write(&mut self, addr: usize, data: &[u8]) -> Result<(), Vec<Demand>> {
+        if let Some(shift) = self.page_shift {
+            let end = addr + data.len();
+            let page = addr >> shift;
+            if !data.is_empty()
+                && end <= self.cfg.region_bytes
+                && (end - 1) >> shift == page
+                && trace_page().is_none()
+            {
+                let meta = &mut self.pages[page];
+                if meta.state == PageState::ReadWrite {
+                    let off = addr & (self.cfg.page_size - 1);
+                    meta.data[off..off + data.len()].copy_from_slice(data);
+                    return Ok(());
+                }
+            }
+        }
+        self.write_slow(addr, data)
+    }
+
+    #[cold]
+    fn write_slow(&mut self, addr: usize, data: &[u8]) -> Result<(), Vec<Demand>> {
         if let Some(tp) = trace_page() {
             let ps = self.cfg.page_size;
             let lo = tp as usize * ps + trace_off();
@@ -270,13 +330,6 @@ impl LrcEngine {
             data.len()
         );
         let ps = self.cfg.page_size;
-        if let Some(tp) = trace_page() {
-            let lo = tp as usize * ps + 312;
-            if addr <= lo && addr + data.len() > lo + 3 {
-                let v = u32::from_le_bytes(data[lo - addr..lo - addr + 4].try_into().unwrap());
-                eprintln!("LRC[{}] write covers @312: val={v}", self.node);
-            }
-        }
         let mut done = 0;
         while done < data.len() {
             let a = addr + done;
@@ -411,17 +464,22 @@ impl LrcEngine {
     /// detects the remaining gap by comparing [`LrcEngine::vt`] with the
     /// message's required timestamp and requests the missing records).
     /// Returns the number of records applied.
-    pub fn apply_records(&mut self, mut records: Vec<IntervalRecord>) -> usize {
-        records.sort_by_key(|r| (r.node, r.index));
+    pub fn apply_records(&mut self, records: &[IntervalRecord]) -> usize {
+        // Sort references, not records: the caller keeps its batch, and only
+        // the records actually applied are cloned into the interval store —
+        // own and already-seen intervals (the common case on re-sends) cost
+        // nothing.
+        let mut order: Vec<&IntervalRecord> = records.iter().collect();
+        order.sort_by_key(|r| (r.node, r.index));
         let mut applied = 0;
-        for rec in records {
+        for rec in order {
             if rec.node == self.node || rec.index <= self.vt.get(rec.node) {
                 continue; // Own or already-seen interval.
             }
             if rec.index != self.vt.get(rec.node) + 1 {
                 continue; // Gap: cannot apply out of order.
             }
-            self.apply_one(rec);
+            self.apply_one(rec.clone());
             applied += 1;
         }
         applied
@@ -490,9 +548,10 @@ impl LrcEngine {
             );
         }
         let idx = self.vt.get(self.node);
+        let scratch = &mut self.diff_scratch;
         let meta = &mut self.pages[page as usize];
         let twin = meta.twin.take().expect("capture_own_diff without twin");
-        let diff = Diff::create(&twin, &meta.data);
+        let diff = Diff::create_with_scratch(&twin, &meta.data, scratch);
         meta.own_covered = idx;
         meta.state = if meta.up_to_date() {
             PageState::ReadOnly

@@ -60,7 +60,7 @@ fn sync_release(engines: &mut [LrcEngine], from: usize, to: usize) {
     let have = engines[to].vt().clone();
     let records = engines[from].records_newer_than(&have);
     engines[to].close_interval();
-    engines[to].apply_records(records);
+    engines[to].apply_records(&records);
     assert!(
         engines[to].vt().dominates(engines[from].vt()),
         "acquirer must cover releaser after a full RELEASE"
@@ -262,7 +262,7 @@ fn gap_detection_and_repair() {
     // Non-transitive payload only.
     let have0 = Vc::new(3);
     let nt = e[1].own_records_newer_than(&have0);
-    e[2].apply_records(nt);
+    e[2].apply_records(&nt);
     assert!(
         !e[2].vt().dominates(&required),
         "gap must be visible in the timestamp"
@@ -270,7 +270,7 @@ fn gap_detection_and_repair() {
     // Repair: ask the original sender for the difference.
     let missing = e[1].records_between(&e[2].vt().clone(), &required);
     assert!(!missing.is_empty());
-    e[2].apply_records(missing);
+    e[2].apply_records(&missing);
     assert!(e[2].vt().dominates(&required), "repair failed");
 }
 
@@ -287,12 +287,12 @@ fn apply_records_skips_gapped_and_duplicate() {
     assert_eq!(all.len(), 3);
     // Deliver only record #2: gapped, must not apply.
     let second = all.iter().find(|r| r.index == 2).unwrap().clone();
-    assert_eq!(e[1].apply_records(vec![second.clone()]), 0);
+    assert_eq!(e[1].apply_records(std::slice::from_ref(&second)), 0);
     assert_eq!(e[1].vt().get(0), 0);
     // Deliver 1 and 2 (2 duplicated): both apply once.
     let first = all.iter().find(|r| r.index == 1).unwrap().clone();
     assert_eq!(
-        e[1].apply_records(vec![second.clone(), first, second.clone()]),
+        e[1].apply_records(&[second.clone(), first, second.clone()]),
         2
     );
     assert_eq!(e[1].vt().get(0), 2);
@@ -314,7 +314,7 @@ fn gc_cycle_resets_records_and_preserves_data() {
     // the last acquire; node 0 must also cover node 1, which wrote nothing).
     assert!(e[0].vt().dominates(e[1].vt()) || e[1].vt().dominates(e[0].vt()));
     let records = e[1].records_newer_than(&e[0].vt().clone());
-    e[0].apply_records(records);
+    e[0].apply_records(&records);
     // Phase 2: validate all pages everywhere.
     for node in 0..2 {
         let demands = e[node].gc_validate_demands();

@@ -47,7 +47,7 @@ fn sync_release(engines: &mut [LrcEngine], from: usize, to: usize) {
     let have = engines[to].vt().clone();
     let records = engines[from].records_newer_than(&have);
     engines[to].close_interval();
-    engines[to].apply_records(records);
+    engines[to].apply_records(&records);
 }
 
 proptest! {
@@ -64,6 +64,37 @@ proptest! {
         prop_assert_eq!(rebuilt, cur);
         // Modified byte count never exceeds the edit count upper bound.
         prop_assert!(d.modified_bytes() <= 128);
+    }
+
+    /// The word-level scanner is an exact drop-in for the retained naive
+    /// byte scanner: identical runs on random pages of *unaligned* lengths
+    /// (the SWAR loop's boundary-word handling is the risky part).
+    #[test]
+    fn word_diff_equals_naive_reference(
+        len in 0usize..200,
+        edits in proptest::collection::vec((0usize..200, any::<u8>()), 0..64),
+    ) {
+        let twin: Vec<u8> = (0..len).map(|i| (i * 31 + 7) as u8).collect();
+        let mut cur = twin.clone();
+        for (i, v) in edits {
+            if len > 0 {
+                cur[i % len] = v;
+            }
+        }
+        let word = Diff::create(&twin, &cur);
+        let naive = Diff::create_naive(&twin, &cur);
+        prop_assert_eq!(word, naive);
+    }
+
+    /// Degenerate dirtiness extremes at word-multiple and odd sizes.
+    #[test]
+    fn word_diff_equals_naive_at_extremes(len in 1usize..96, flip in any::<bool>()) {
+        let twin = vec![0xA5u8; len];
+        let cur = if flip { vec![0x5Au8; len] } else { twin.clone() };
+        let word = Diff::create(&twin, &cur);
+        let naive = Diff::create_naive(&twin, &cur);
+        prop_assert_eq!(&word, &naive);
+        prop_assert_eq!(word.modified_bytes(), if flip { len } else { 0 });
     }
 
     #[test]

@@ -1,0 +1,171 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! member implements the subset of the `proptest` API that CarlOS-rs's
+//! property tests use: the [`proptest!`] macro, [`Strategy`] with
+//! `prop_map`, integer-range and tuple strategies, [`any`], [`Just`],
+//! [`prop_oneof!`], `collection::vec`, and [`ProptestConfig`].
+//!
+//! Inputs are generated from a deterministic per-test PRNG (seeded from
+//! the test name, overridable with `PROPTEST_SEED`), so failures are
+//! reproducible. Shrinking is not implemented: a failing case panics with
+//! the generating seed and case index instead.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod collection {
+    //! Collection strategies (`vec`).
+    pub use crate::strategy::vec;
+}
+
+/// Runner configuration accepted by `#![proptest_config(..)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+    /// Accepted for source compatibility; unused (no shrinking here).
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self {
+            cases: 64,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+pub mod prelude {
+    //! The common imports, mirroring `proptest::prelude`.
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    pub mod prop {
+        //! `prop::collection` alias used by some call sites.
+        pub use crate::collection;
+    }
+}
+
+/// Asserts a condition inside a property (panics on failure, which fails
+/// the whole test — this shim does not shrink).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Uniform choice between several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {{
+        $crate::strategy::Union::new(vec![
+            $(std::boxed::Box::new($s) as std::boxed::Box<dyn $crate::strategy::Strategy<Value = _>>),+
+        ])
+    }};
+}
+
+/// Declares property tests. Each `name(arg in strategy, ...)` function is
+/// expanded into a `#[test]` that runs the body over `config.cases`
+/// deterministically generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $( $(#[$meta:meta])* fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                for case in 0..config.cases {
+                    let case_seed = rng.next_u64();
+                    let mut case_rng = $crate::test_runner::TestRng::from_seed(case_seed);
+                    $(let $arg = $crate::strategy::Strategy::generate(&$strat, &mut case_rng);)+
+                    let run = || -> () { $body };
+                    if let Err(payload) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(run)) {
+                        eprintln!(
+                            "proptest shim: property `{}` failed at case {} (seed {:#x})",
+                            stringify!($name), case, case_seed
+                        );
+                        std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 0usize..10, y in 5u32..6) {
+            prop_assert!(x < 10);
+            prop_assert_eq!(y, 5);
+        }
+
+        #[test]
+        fn vec_lengths_respect_size(v in crate::collection::vec(any::<u8>(), 3..7)) {
+            prop_assert!(v.len() >= 3 && v.len() < 7);
+        }
+
+        #[test]
+        fn mapped_tuples(p in (0usize..4, any::<u8>()).prop_map(|(a, b)| (a * 2, b)) ) {
+            prop_assert!(p.0 % 2 == 0 && p.0 < 8);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 7, ..ProptestConfig::default() })]
+        #[test]
+        fn config_cases_accepted(b in any::<bool>()) {
+            let _ = b;
+        }
+    }
+
+    #[test]
+    fn oneof_hits_every_arm() {
+        use crate::strategy::Strategy;
+        let s = prop_oneof![Just(0u8), Just(1u8), Just(2u8)];
+        let mut rng = crate::test_runner::TestRng::from_seed(7);
+        let mut seen = [false; 3];
+        for _ in 0..64 {
+            seen[s.generate(&mut rng) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::{any, Strategy};
+        let s = crate::collection::vec(any::<u8>(), 16);
+        let mut r1 = crate::test_runner::TestRng::from_seed(99);
+        let mut r2 = crate::test_runner::TestRng::from_seed(99);
+        assert_eq!(s.generate(&mut r1), s.generate(&mut r2));
+    }
+}

@@ -6,6 +6,7 @@ use std::{
     thread::JoinHandle,
 };
 
+use bytes::Bytes;
 use parking_lot::{Condvar, Mutex, MutexGuard};
 
 use crate::{
@@ -21,7 +22,9 @@ pub struct Datagram {
     /// Sending node.
     pub src: NodeId,
     /// Payload bytes (transport headers included; wire frame headers not).
-    pub payload: Vec<u8>,
+    /// A shared handle: forwarding or retransmitting a datagram clones the
+    /// handle, not the bytes.
+    pub payload: Bytes,
     /// Virtual time at which the sender handed the datagram to the wire.
     pub sent_at: Ns,
 }
@@ -423,7 +426,8 @@ impl NodeCtx {
     /// counted in network statistics. The call is asynchronous: it returns
     /// once the local send processing is done, not when the datagram
     /// arrives.
-    pub fn send_datagram(&self, dst: NodeId, payload: Vec<u8>) {
+    pub fn send_datagram(&self, dst: NodeId, payload: impl Into<Bytes>) {
+        let payload = payload.into();
         assert!(
             (dst as usize) < self.n_nodes,
             "datagram to unknown node {dst}"

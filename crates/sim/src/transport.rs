@@ -18,6 +18,8 @@
 
 use std::collections::{BTreeMap, VecDeque};
 
+use bytes::{BufMut, Bytes, BytesMut};
+
 use crate::{
     cluster::NodeCtx,
     time::{NodeId, Ns},
@@ -42,13 +44,81 @@ const HEADER_BYTES: usize = 5;
 const KIND_DATA: u8 = 0;
 const KIND_ACK: u8 = 1;
 
+/// An outgoing message body with transport-header headroom in front.
+///
+/// Framing writes the 5-byte header into the headroom in place and freezes
+/// the buffer once, so the wire copy, the ARQ retransmission queue, and any
+/// store-and-forward hop all share one allocation ([`Bytes`] clones are
+/// O(1)). Senders that already encode through [`carlos_util::codec::Encoder`]
+/// should reserve [`FrameBuf::HEADROOM`] placeholder bytes up front and wrap
+/// the result with [`FrameBuf::from_reserved`]; anything else (tests, raw
+/// byte payloads) converts via `From<Vec<u8>>` / [`FrameBuf::from_body`],
+/// which pays one copy.
+#[derive(Debug)]
+pub struct FrameBuf(BytesMut);
+
+impl FrameBuf {
+    /// Placeholder bytes a pre-reserved buffer must carry in front of the
+    /// payload (the transport header is written over them).
+    pub const HEADROOM: usize = HEADER_BYTES;
+
+    /// Wraps a buffer whose first [`Self::HEADROOM`] bytes are placeholder
+    /// header space (the payload starts at byte [`Self::HEADROOM`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf` is shorter than the headroom.
+    #[must_use]
+    pub fn from_reserved(buf: BytesMut) -> Self {
+        assert!(
+            buf.len() >= Self::HEADROOM,
+            "frame buffer missing header headroom"
+        );
+        Self(buf)
+    }
+
+    /// Copies `body` into a fresh buffer behind header headroom.
+    #[must_use]
+    pub fn from_body(body: &[u8]) -> Self {
+        let mut buf = BytesMut::with_capacity(Self::HEADROOM + body.len());
+        buf.put_slice(&[0u8; Self::HEADROOM]);
+        buf.put_slice(body);
+        Self(buf)
+    }
+
+    /// Fills in the header and freezes the frame for the wire.
+    fn seal(mut self, kind: u8, seq: u32) -> Bytes {
+        self.0[0] = kind;
+        self.0[1..HEADER_BYTES].copy_from_slice(&seq.to_le_bytes());
+        self.0.freeze()
+    }
+}
+
+impl From<Vec<u8>> for FrameBuf {
+    fn from(body: Vec<u8>) -> Self {
+        Self::from_body(&body)
+    }
+}
+
+impl From<&[u8]> for FrameBuf {
+    fn from(body: &[u8]) -> Self {
+        Self::from_body(body)
+    }
+}
+
+fn frame_ack(cum: u32) -> Bytes {
+    FrameBuf::from_body(&[]).seal(KIND_ACK, cum)
+}
+
 #[derive(Debug, Default)]
 struct PeerTx {
     next_seq: u32,
-    /// Sent but unacknowledged `(seq, payload)` in seq order.
-    unacked: VecDeque<(u32, Vec<u8>)>,
-    /// Waiting for window space.
-    queued: VecDeque<Vec<u8>>,
+    /// Sent but unacknowledged `(seq, sealed frame)` in seq order. Storing
+    /// the sealed frame means retransmission is an O(1) handle clone of the
+    /// bytes already sent, not a re-framing copy.
+    unacked: VecDeque<(u32, Bytes)>,
+    /// Waiting for window space (not yet framed: no sequence number yet).
+    queued: VecDeque<FrameBuf>,
     /// Absolute deadline of the pending retransmission timer.
     rto_at: Option<Ns>,
 }
@@ -57,7 +127,7 @@ struct PeerTx {
 struct PeerRx {
     next_seq: u32,
     /// Out-of-order arrivals awaiting the gap to fill.
-    reorder: BTreeMap<u32, Vec<u8>>,
+    reorder: BTreeMap<u32, Bytes>,
 }
 
 /// Reliable in-order transport endpoint for one node.
@@ -70,7 +140,7 @@ pub struct Transport {
     mode: AckMode,
     tx: Vec<PeerTx>,
     rx: Vec<PeerRx>,
-    ready: VecDeque<(NodeId, Vec<u8>)>,
+    ready: VecDeque<(NodeId, Bytes)>,
 }
 
 impl Transport {
@@ -114,32 +184,34 @@ impl Transport {
 
     /// Sends `msg` to `dst` reliably and in order. Asynchronous: returns
     /// after local send processing, not delivery.
-    pub fn send(&mut self, dst: NodeId, msg: Vec<u8>) {
+    pub fn send(&mut self, dst: NodeId, msg: impl Into<FrameBuf>) {
+        let msg = msg.into();
         if dst == self.ctx.node_id() {
             // Loopback delivery is lossless and in order by construction,
             // and a node never acknowledges itself — putting loopback
             // frames in the ARQ window would retransmit them forever.
             let seq = self.tx[dst as usize].next_seq;
             self.tx[dst as usize].next_seq += 1;
-            self.ctx.send_datagram(dst, frame(KIND_DATA, seq, &msg));
+            self.ctx.send_datagram(dst, msg.seal(KIND_DATA, seq));
             return;
         }
         match self.mode {
             AckMode::Implicit => {
                 let seq = self.tx[dst as usize].next_seq;
                 self.tx[dst as usize].next_seq += 1;
-                self.ctx.send_datagram(dst, frame(KIND_DATA, seq, &msg));
+                self.ctx.send_datagram(dst, msg.seal(KIND_DATA, seq));
             }
             AckMode::Arq { window, rto } => {
                 let peer = &mut self.tx[dst as usize];
                 if (peer.unacked.len() as u32) < window {
                     let seq = peer.next_seq;
                     peer.next_seq += 1;
-                    peer.unacked.push_back((seq, msg.clone()));
+                    let sealed = msg.seal(KIND_DATA, seq);
+                    peer.unacked.push_back((seq, sealed.clone()));
                     if peer.rto_at.is_none() {
                         peer.rto_at = Some(self.ctx.now() + rto);
                     }
-                    self.ctx.send_datagram(dst, frame(KIND_DATA, seq, &msg));
+                    self.ctx.send_datagram(dst, sealed);
                 } else {
                     peer.queued.push_back(msg);
                 }
@@ -149,14 +221,14 @@ impl Transport {
 
     /// Returns the next ready user message without blocking, after draining
     /// any datagrams already in the mailbox.
-    pub fn poll(&mut self) -> Option<(NodeId, Vec<u8>)> {
+    pub fn poll(&mut self) -> Option<(NodeId, Bytes)> {
         self.drain_mailbox();
         self.ready.pop_front()
     }
 
     /// Blocks until a user message is available or `deadline` (absolute
     /// virtual time) passes. Drives retransmission timers while waiting.
-    pub fn wait(&mut self, deadline: Option<Ns>) -> Option<(NodeId, Vec<u8>)> {
+    pub fn wait(&mut self, deadline: Option<Ns>) -> Option<(NodeId, Bytes)> {
         loop {
             if let Some(m) = self.poll() {
                 return Some(m);
@@ -239,11 +311,14 @@ impl Transport {
             if !due {
                 continue;
             }
-            // Go-back-N: retransmit everything unacknowledged.
-            let frames: Vec<(u32, Vec<u8>)> = self.tx[dst].unacked.iter().cloned().collect();
-            for (seq, payload) in frames {
+            // Go-back-N: retransmit everything unacknowledged. The frames
+            // were sealed at first transmission, so each retransmit is an
+            // O(1) handle clone of the original bytes.
+            let frames: Vec<Bytes> =
+                self.tx[dst].unacked.iter().map(|(_, f)| f.clone()).collect();
+            for payload in frames {
                 self.ctx.count("transport.retransmits", 1);
-                self.ctx.send_datagram(dst as NodeId, frame(KIND_DATA, seq, &payload));
+                self.ctx.send_datagram(dst as NodeId, payload);
             }
             self.tx[dst].rto_at = if self.tx[dst].unacked.is_empty() {
                 None
@@ -253,7 +328,7 @@ impl Transport {
         }
     }
 
-    fn handle_datagram(&mut self, src: NodeId, payload: Vec<u8>) {
+    fn handle_datagram(&mut self, src: NodeId, payload: Bytes) {
         if payload.len() < HEADER_BYTES {
             // Corrupt or foreign datagram; the real system would log and drop.
             self.ctx.count("transport.malformed", 1);
@@ -265,7 +340,8 @@ impl Transport {
                 .try_into()
                 .expect("header slice is four bytes"),
         );
-        let body = payload[HEADER_BYTES..].to_vec();
+        // O(1) sub-view of the arriving frame — no receive-side body copy.
+        let body = payload.slice(HEADER_BYTES..);
         match kind {
             KIND_DATA => self.handle_data(src, seq, body),
             KIND_ACK => self.handle_ack(src, seq),
@@ -273,7 +349,7 @@ impl Transport {
         }
     }
 
-    fn handle_data(&mut self, src: NodeId, seq: u32, body: Vec<u8>) {
+    fn handle_data(&mut self, src: NodeId, seq: u32, body: Bytes) {
         let rx = &mut self.rx[src as usize];
         if seq < rx.next_seq {
             self.ctx.count("transport.duplicates", 1);
@@ -292,7 +368,7 @@ impl Transport {
         if matches!(self.mode, AckMode::Arq { .. }) && src != self.ctx.node_id() {
             let cum = self.rx[src as usize].next_seq;
             self.ctx.count("transport.acks", 1);
-            self.ctx.send_datagram(src, frame(KIND_ACK, cum, &[]));
+            self.ctx.send_datagram(src, frame_ack(cum));
         }
     }
 
@@ -309,7 +385,7 @@ impl Transport {
         } else {
             Some(self.ctx.now() + rto)
         };
-        // Window space may have opened; send queued data.
+        // Window space may have opened; seal and send queued data.
         let mut to_send = Vec::new();
         while (peer.unacked.len() as u32) < window {
             let Some(msg) = peer.queued.pop_front() else {
@@ -317,22 +393,15 @@ impl Transport {
             };
             let seq = peer.next_seq;
             peer.next_seq += 1;
-            peer.unacked.push_back((seq, msg.clone()));
-            to_send.push((seq, msg));
+            let sealed = msg.seal(KIND_DATA, seq);
+            peer.unacked.push_back((seq, sealed.clone()));
+            to_send.push(sealed);
         }
         if !to_send.is_empty() && self.tx[src as usize].rto_at.is_none() {
             self.tx[src as usize].rto_at = Some(self.ctx.now() + rto);
         }
-        for (seq, msg) in to_send {
-            self.ctx.send_datagram(src, frame(KIND_DATA, seq, &msg));
+        for sealed in to_send {
+            self.ctx.send_datagram(src, sealed);
         }
     }
-}
-
-fn frame(kind: u8, seq: u32, body: &[u8]) -> Vec<u8> {
-    let mut v = Vec::with_capacity(HEADER_BYTES + body.len());
-    v.push(kind);
-    v.extend_from_slice(&seq.to_le_bytes());
-    v.extend_from_slice(body);
-    v
 }

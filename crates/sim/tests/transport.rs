@@ -30,7 +30,7 @@ fn implicit_mode_delivers_in_order() {
         for i in 0..50u32 {
             let (src, body) = t.wait(None).expect("message");
             assert_eq!(src, 0);
-            assert_eq!(u32::from_le_bytes(body.try_into().unwrap()), i);
+            assert_eq!(u32::from_le_bytes(body[..].try_into().unwrap()), i);
         }
     });
     let r = c.run();
@@ -51,7 +51,7 @@ fn arq_delivers_without_loss() {
         let mut t = Transport::new(ctx, ARQ);
         for i in 0..100u32 {
             let (_, body) = t.wait(None).expect("message");
-            assert_eq!(u32::from_le_bytes(body.try_into().unwrap()), i);
+            assert_eq!(u32::from_le_bytes(body[..].try_into().unwrap()), i);
         }
     });
     let r = c.run();
@@ -77,7 +77,7 @@ fn arq_recovers_from_heavy_loss() {
         for i in 0..200u32 {
             let (_, body) = t.wait(None).expect("reliable delivery despite loss");
             assert_eq!(
-                u32::from_le_bytes(body.try_into().unwrap()),
+                u32::from_le_bytes(body[..].try_into().unwrap()),
                 i,
                 "delivery out of order"
             );
@@ -113,7 +113,7 @@ fn arq_exactly_once_under_duplication_pressure() {
         let mut seen = [false; 50];
         for _ in 0..50 {
             let (_, body) = t.wait(None).expect("message");
-            let v = u32::from_le_bytes(body.try_into().unwrap()) as usize;
+            let v = u32::from_le_bytes(body[..].try_into().unwrap()) as usize;
             assert!(!seen[v], "duplicate delivery of {v}");
             seen[v] = true;
         }

@@ -138,9 +138,22 @@ impl Encoder {
     }
 
     /// Finishes encoding, returning an owned `Vec<u8>`.
+    ///
+    /// This reuses the encoder's buffer allocation; it does not copy.
     #[must_use]
     pub fn finish_vec(self) -> Vec<u8> {
-        self.buf.to_vec()
+        self.buf.into()
+    }
+
+    /// Finishes encoding, returning the still-mutable buffer.
+    ///
+    /// Used by senders that encode a payload with headroom for a framing
+    /// header, fill the header in place, and then freeze the whole buffer
+    /// once — so the wire copy and any retransmission queue share one
+    /// allocation.
+    #[must_use]
+    pub fn finish_mut(self) -> BytesMut {
+        self.buf
     }
 }
 

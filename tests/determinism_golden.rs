@@ -1,0 +1,152 @@
+//! Golden-value determinism regression tests.
+//!
+//! The hot-path work (word-level diffing, zero-copy payloads, fast-path
+//! page access) is host-performance only: it must not perturb the
+//! simulated virtual-time results. These tests pin the full
+//! [`SimReport`] fingerprint — virtual times, message counts, byte
+//! counts, per-node buckets and counters — of fixed-seed runs to literal
+//! golden values, so any change to what the simulation *computes* (as
+//! opposed to how fast the host computes it) fails loudly.
+//!
+//! If a future PR intentionally changes protocol behavior (and therefore
+//! these fingerprints), regenerate the goldens by running the test and
+//! copying the `actual fingerprint:` block from the failure message.
+
+use carlos::core::{CoreConfig, Runtime};
+use carlos::lrc::LrcConfig;
+use carlos::sim::time::{ms, us};
+use carlos::sim::transport::AckMode;
+use carlos::sim::{Bucket, Cluster, SimConfig, SimReport};
+use carlos::sync::{BarrierSpec, LockSpec};
+use std::fmt::Write as _;
+
+/// Serializes every determinism-relevant field of a report into one
+/// comparable, diffable string.
+fn fingerprint(r: &SimReport) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "elapsed={} events={}", r.elapsed, r.events_processed);
+    let _ = writeln!(
+        s,
+        "net messages={} payload_bytes={} dropped={}",
+        r.net.messages, r.net.payload_bytes, r.net.dropped
+    );
+    for (i, b) in r.node_buckets.iter().enumerate() {
+        let _ = write!(s, "node{i} buckets");
+        for bucket in Bucket::ALL {
+            let _ = write!(s, " {}={}", bucket.name(), b.get(bucket));
+        }
+        let _ = writeln!(s);
+        let _ = write!(s, "node{i} counters");
+        for (k, v) in r.node_counters[i].iter() {
+            let _ = write!(s, " {k}={v}");
+        }
+        let _ = writeln!(s);
+    }
+    s
+}
+
+/// A fixed 2-node lock/barrier workload over shared pages: enough traffic
+/// to exercise diff creation/application, page fetches, interval records,
+/// and the wire codec end to end.
+fn two_node_run() -> SimReport {
+    const N: usize = 2;
+    let mut cluster = Cluster::new(SimConfig::osdi94(), N);
+    for node in 0..N as u32 {
+        cluster.spawn_node(node, move |ctx| {
+            let mut rt = Runtime::new(ctx, LrcConfig::osdi94(N, 1 << 15), CoreConfig::osdi94());
+            let sys = carlos::sync::install(&mut rt);
+            let lock = LockSpec::new(1, 0);
+            let b = BarrierSpec::global(9, 0);
+            for i in 0..12u32 {
+                sys.acquire(&mut rt, lock);
+                let slot = (i as usize % 6) * 8;
+                let v = rt.read_u32(slot);
+                rt.write_u32(slot, v + node + 1);
+                sys.release(&mut rt, lock);
+                rt.compute(us(70));
+            }
+            sys.barrier(&mut rt, b, 0);
+            let mut sum = 0;
+            for slot in 0..6 {
+                sum += rt.read_u32(slot * 8);
+            }
+            assert_eq!(sum, 12 * (1 + 2));
+            sys.barrier(&mut rt, b, 1);
+            rt.shutdown();
+        });
+    }
+    cluster.run()
+}
+
+/// Same shape, but with packet loss and the ARQ transport, so retransmit
+/// paths are part of the pinned behavior too.
+fn two_node_lossy_run() -> SimReport {
+    const N: usize = 2;
+    let cfg = SimConfig::fast_test().with_loss(0.10, 77);
+    let mut cluster = Cluster::new(cfg, N);
+    for node in 0..N as u32 {
+        cluster.spawn_node(node, move |ctx| {
+            let ack = AckMode::Arq {
+                window: 16,
+                rto: ms(5),
+            };
+            let mut rt =
+                Runtime::with_ack_mode(ctx, LrcConfig::small_test(N), CoreConfig::fast_test(), ack);
+            let sys = carlos::sync::install(&mut rt);
+            let lock = LockSpec::new(1, 0);
+            for _ in 0..6 {
+                sys.acquire(&mut rt, lock);
+                let v = rt.read_u32(0);
+                rt.write_u32(0, v + 1);
+                sys.release(&mut rt, lock);
+            }
+            sys.barrier(&mut rt, BarrierSpec::global(9, 0), 0);
+            assert_eq!(rt.read_u32(0), 12);
+            sys.barrier(&mut rt, BarrierSpec::global(9, 0), 1);
+            rt.shutdown();
+        });
+    }
+    cluster.run()
+}
+
+fn assert_matches_golden(actual: &SimReport, golden: &str, what: &str) {
+    let fp = fingerprint(actual);
+    assert_eq!(
+        fp.trim(),
+        golden.trim(),
+        "{what}: simulated results diverged from the pinned golden.\n\
+         If this change is *intended* to alter protocol behavior, update\n\
+         the golden below; if it is a host-performance change, it has a bug.\n\
+         actual fingerprint:\n{fp}"
+    );
+}
+
+const GOLDEN_TWO_NODE: &str = "\
+elapsed=92339996 events=373
+net messages=98 payload_bytes=21738 dropped=0
+node0 buckets User=840000 Unix=55500000 CarlOS=3855098 Idle=31508298
+node0 counters barrier.waits=2 carlos.accepted=14 carlos.diff_requests=12 carlos.diff_requests_served=11 carlos.discarded=13 carlos.forwarded=23 carlos.notices_applied=12 carlos.page_requests_served=1 carlos.sent=50 carlos.sent.release=15 carlos.sent.request=35 carlos.sent.system=24 lock.acquires=12 lock.releases=12 lrc.diffs_applied=12 lrc.diffs_created=12 lrc.intervals_created=12 lrc.notices_applied=12 lrc.pages_installed=0 lrc.records_resident=48 lrc.remote_faults=12 lrc.write_faults=12 net.loopback=25 net.sent=49 net.sent_bytes=14959
+node1 buckets User=840000 Unix=36750000 CarlOS=2310098 Idle=52439898
+node1 counters barrier.waits=2 carlos.accepted=14 carlos.diff_requests=11 carlos.diff_requests_served=12 carlos.discarded=11 carlos.notices_applied=12 carlos.page_requests=1 carlos.sent=25 carlos.sent.release=11 carlos.sent.release_nt=2 carlos.sent.request=12 carlos.sent.system=24 lock.acquires=12 lock.releases=12 lrc.diffs_applied=11 lrc.diffs_created=12 lrc.intervals_created=12 lrc.notices_applied=12 lrc.pages_installed=1 lrc.records_resident=47 lrc.remote_faults=12 lrc.write_faults=12 net.sent=49 net.sent_bytes=6779";
+
+const GOLDEN_TWO_NODE_LOSSY: &str = "\
+elapsed=5045320 events=61
+net messages=21 payload_bytes=672 dropped=2
+node0 buckets User=0 Unix=26000 CarlOS=0 Idle=5019320
+node0 counters barrier.waits=2 carlos.accepted=3 carlos.diff_requests=1 carlos.discarded=2 carlos.forwarded=1 carlos.notices_applied=1 carlos.page_requests_served=1 carlos.sent=6 carlos.sent.release=4 carlos.sent.request=2 carlos.sent.system=2 lock.acquires=1 lock.local_reacquires=5 lock.releases=6 lrc.diffs_applied=1 lrc.diffs_created=1 lrc.intervals_created=1 lrc.notices_applied=1 lrc.pages_installed=0 lrc.records_resident=4 lrc.remote_faults=1 lrc.write_faults=1 net.loopback=3 net.sent=11 net.sent_bytes=412 transport.acks=5 transport.retransmits=1
+node1 buckets User=0 Unix=20000 CarlOS=0 Idle=5023280
+node1 counters barrier.waits=2 carlos.accepted=3 carlos.diff_requests_served=1 carlos.notices_applied=1 carlos.page_requests=1 carlos.sent=3 carlos.sent.release_nt=2 carlos.sent.request=1 carlos.sent.system=2 lock.acquires=1 lock.local_reacquires=5 lock.releases=6 lrc.diffs_applied=0 lrc.diffs_created=1 lrc.intervals_created=1 lrc.notices_applied=1 lrc.pages_installed=1 lrc.records_resident=3 lrc.remote_faults=1 lrc.write_faults=1 net.sent=10 net.sent_bytes=260 transport.acks=5";
+
+#[test]
+fn two_node_report_is_pinned() {
+    assert_matches_golden(&two_node_run(), GOLDEN_TWO_NODE, "2-node osdi94 workload");
+}
+
+#[test]
+fn two_node_lossy_report_is_pinned() {
+    assert_matches_golden(
+        &two_node_lossy_run(),
+        GOLDEN_TWO_NODE_LOSSY,
+        "2-node lossy ARQ workload",
+    );
+}
