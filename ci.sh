@@ -10,10 +10,15 @@ cargo build --release --workspace
 echo "==> cargo test (workspace)"
 cargo test --workspace -q
 
-echo "==> cargo clippy -D warnings (hot-path crates)"
+echo "==> cargo clippy -D warnings (hot-path + hardened crates)"
 cargo clippy -p carlos-util -p carlos-sim -p carlos-lrc -p carlos-core \
-    -p carlos-bench -p bytes -p criterion -p proptest -p parking_lot \
-    --all-targets -- -D warnings
+    -p carlos-sync -p carlos-bench -p bytes -p criterion -p proptest \
+    -p parking_lot --all-targets -- -D warnings
+
+echo "==> chaos profile (scripted faults + pinned fingerprints)"
+cargo test -q --test chaos
+cargo test -q --test determinism_golden
+cargo test -q -p carlos-sim --test transport
 
 echo "==> wallclock bench (quick mode) -> BENCH_hotpath.json"
 CARLOS_BENCH_QUICK=1 cargo bench -p carlos-bench --bench wallclock

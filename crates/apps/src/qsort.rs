@@ -31,7 +31,7 @@ use std::sync::{
 
 use carlos_core::{Annotation, CoherentHeap, CoreConfig, Runtime};
 use carlos_lrc::{LrcConfig, PageOwnership};
-use carlos_sim::{time::us, Cluster, SimConfig};
+use carlos_sim::{time::us, AckMode, Cluster, SimConfig};
 use carlos_sync::{
     ids::H_Q_CLOSE, BarrierSpec, LockSpec, QueueSpec,
 };
@@ -81,6 +81,9 @@ pub struct QsortConfig {
     /// Verify the result on every node (tests) or only on node 0 (paper
     /// runs: the master collects the sorted array once).
     pub verify_all_nodes: bool,
+    /// Transport acknowledgement mode (switch to [`AckMode::Arq`] to run
+    /// under injected loss, e.g. in chaos tests).
+    pub ack: AckMode,
 }
 
 impl QsortConfig {
@@ -99,6 +102,7 @@ impl QsortConfig {
             core: CoreConfig::osdi94(),
             page_size: 8192,
             verify_all_nodes: false,
+            ack: AckMode::Implicit,
         }
     }
 
@@ -117,6 +121,7 @@ impl QsortConfig {
             core: CoreConfig::fast_test(),
             page_size: 512,
             verify_all_nodes: true,
+            ack: AckMode::Implicit,
         }
     }
 }
@@ -200,7 +205,7 @@ fn qsort_node(cfg: &QsortConfig, ctx: carlos_sim::NodeCtx) -> (bool, bool) {
         gc_threshold_records: 12_000,
         ownership: PageOwnership::SingleOwner(0),
     };
-    let mut rt = Runtime::new(ctx, lrc, cfg.core.clone());
+    let mut rt = Runtime::with_ack_mode(ctx, lrc, cfg.core.clone(), cfg.ack);
     let sys = carlos_sync::install(&mut rt);
     let barrier = BarrierSpec::global(900, 0);
     let node = rt.node_id();

@@ -20,7 +20,7 @@
 
 use carlos_core::{CoherentHeap, CoreConfig, Runtime};
 use carlos_lrc::{LrcConfig, PageOwnership};
-use carlos_sim::{time::us, Cluster, SimConfig};
+use carlos_sim::{time::us, AckMode, Cluster, SimConfig};
 use carlos_sync::BarrierSpec;
 
 use crate::harness::{AppReport, Collector};
@@ -44,6 +44,9 @@ pub struct SorConfig {
     pub core: CoreConfig,
     /// DSM page size.
     pub page_size: usize,
+    /// Transport acknowledgement mode (switch to [`AckMode::Arq`] to run
+    /// under injected loss, e.g. in chaos tests).
+    pub ack: AckMode,
 }
 
 impl SorConfig {
@@ -62,6 +65,7 @@ impl SorConfig {
             sim: SimConfig::osdi94(),
             core: CoreConfig::osdi94(),
             page_size: 8192,
+            ack: AckMode::Implicit,
         }
     }
 
@@ -77,6 +81,7 @@ impl SorConfig {
             sim: SimConfig::fast_test(),
             core: CoreConfig::fast_test(),
             page_size: 256,
+            ack: AckMode::Implicit,
         }
     }
 }
@@ -187,7 +192,7 @@ fn sor_node(cfg: &SorConfig, ctx: carlos_sim::NodeCtx) -> Vec<f64> {
         gc_threshold_records: 400_000,
         ownership: PageOwnership::Banded,
     };
-    let mut rt = Runtime::new(ctx, lrc, cfg.core.clone());
+    let mut rt = Runtime::with_ack_mode(ctx, lrc, cfg.core.clone(), cfg.ack);
     let sys = carlos_sync::install(&mut rt);
     let barrier = BarrierSpec::global(900, 0);
     let node = rt.node_id() as usize;

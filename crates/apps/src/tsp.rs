@@ -22,7 +22,7 @@
 
 use carlos_core::{Annotation, CoherentHeap, CoreConfig, Runtime};
 use carlos_lrc::{LrcConfig, PageOwnership};
-use carlos_sim::{time::us, Cluster, SimConfig};
+use carlos_sim::{time::us, AckMode, Cluster, SimConfig};
 use carlos_sync::{BarrierSpec, LockSpec, QueueSpec};
 use carlos_util::rng::Xoshiro256;
 
@@ -69,6 +69,9 @@ pub struct TspConfig {
     pub core: CoreConfig,
     /// DSM page size.
     pub page_size: usize,
+    /// Transport acknowledgement mode (switch to [`AckMode::Arq`] to run
+    /// under injected loss, e.g. in chaos tests).
+    pub ack: AckMode,
 }
 
 impl TspConfig {
@@ -87,6 +90,7 @@ impl TspConfig {
             sim: SimConfig::osdi94(),
             core: CoreConfig::osdi94(),
             page_size: 8192,
+            ack: AckMode::Implicit,
         }
     }
 
@@ -105,6 +109,7 @@ impl TspConfig {
             sim: SimConfig::fast_test(),
             core: CoreConfig::fast_test(),
             page_size: 512,
+            ack: AckMode::Implicit,
         }
     }
 }
@@ -504,7 +509,7 @@ fn tsp_node(cfg: &TspConfig, ctx: carlos_sim::NodeCtx) -> (u32, u64) {
         gc_threshold_records: 12_000,
         ownership: PageOwnership::SingleOwner(0),
     };
-    let mut rt = Runtime::new(ctx, lrc, cfg.core.clone());
+    let mut rt = Runtime::with_ack_mode(ctx, lrc, cfg.core.clone(), cfg.ack);
     let sys = carlos_sync::install(&mut rt);
     let barrier = BarrierSpec::global(900, 0);
     // Every node computes the instance locally (private data).

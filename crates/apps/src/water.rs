@@ -21,7 +21,7 @@ use std::collections::BTreeSet;
 
 use carlos_core::{Annotation, CoherentHeap, CoreConfig, Runtime};
 use carlos_lrc::{LrcConfig, PageOwnership};
-use carlos_sim::{time::us, Cluster, SimConfig};
+use carlos_sim::{time::us, AckMode, Cluster, SimConfig};
 use carlos_sync::{BarrierSpec, LockSpec};
 use carlos_util::rng::Xoshiro256;
 
@@ -67,6 +67,9 @@ pub struct WaterConfig {
     pub page_size: usize,
     /// Collect final state on every node (tests) or only node 0 (paper).
     pub collect_all_nodes: bool,
+    /// Transport acknowledgement mode (switch to [`AckMode::Arq`] to run
+    /// under injected loss, e.g. in chaos tests).
+    pub ack: AckMode,
 }
 
 impl WaterConfig {
@@ -86,6 +89,7 @@ impl WaterConfig {
             core: CoreConfig::osdi94(),
             page_size: 8192,
             collect_all_nodes: false,
+            ack: AckMode::Implicit,
         }
     }
 
@@ -105,6 +109,7 @@ impl WaterConfig {
             core: CoreConfig::fast_test(),
             page_size: 512,
             collect_all_nodes: true,
+            ack: AckMode::Implicit,
         }
     }
 }
@@ -239,7 +244,7 @@ fn water_node(cfg: &WaterConfig, ctx: carlos_sim::NodeCtx) -> (Vec<[f64; 3]>, f6
         gc_threshold_records: 12_000,
         ownership: PageOwnership::SingleOwner(0),
     };
-    let mut rt = Runtime::new(ctx, lrc, cfg.core.clone());
+    let mut rt = Runtime::with_ack_mode(ctx, lrc, cfg.core.clone(), cfg.ack);
     let sys = carlos_sync::install(&mut rt);
     let barrier = BarrierSpec::global(900, 0);
     let node = rt.node_id();

@@ -69,6 +69,13 @@ pub struct CoreConfig {
     pub wire_header_pad: usize,
     /// Coherence strategy driven by RELEASE messages.
     pub strategy: Strategy,
+    /// When set, a page/diff fetch that makes no progress for this long
+    /// probes the serving node and — if the transport's failure detector
+    /// flags it down, or after 8 fruitless rounds — aborts the run with an
+    /// attributed [`carlos_sim::SimError::Aborted`] instead of pumping
+    /// forever. `None` (the default) keeps the historical wait-forever
+    /// behavior and adds no timer events to the run.
+    pub fetch_timeout: Option<Ns>,
 }
 
 impl Default for CoreConfig {
@@ -98,6 +105,7 @@ impl CoreConfig {
             treadmarks_dispatch: false,
             wire_header_pad: 90,
             strategy: Strategy::Invalidate,
+            fetch_timeout: None,
         }
     }
 
@@ -121,6 +129,7 @@ impl CoreConfig {
             treadmarks_dispatch: false,
             wire_header_pad: 0,
             strategy: Strategy::Invalidate,
+            fetch_timeout: None,
         }
     }
 
@@ -135,6 +144,13 @@ impl CoreConfig {
     #[must_use]
     pub fn with_update_strategy(mut self) -> Self {
         self.strategy = Strategy::Update;
+        self
+    }
+
+    /// Returns `self` with the given fetch timeout (builder style).
+    #[must_use]
+    pub fn with_fetch_timeout(mut self, timeout: Ns) -> Self {
+        self.fetch_timeout = Some(timeout);
         self
     }
 

@@ -18,7 +18,7 @@ use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use carlos_lrc::{Demand, IntervalRecord, LrcConfig, LrcEngine, Vc};
 use carlos_sim::{
     time::Ns,
-    transport::{AckMode, Transport},
+    transport::{AckMode, ArqTuning, Transport},
     Bucket, NodeCtx, NodeId,
 };
 use carlos_util::codec::{Decoder, Encoder, Wire};
@@ -46,6 +46,10 @@ pub type HandlerFn = Box<dyn FnMut(&mut Env<'_>, Message) + Send>;
 /// How many times a pending accept may re-request missing consistency
 /// information before the runtime declares a protocol bug.
 const MAX_REPAIR_ROUNDS: u32 = 64;
+
+/// How many consecutive fetch-timeout rounds a demand fetch survives
+/// before the runtime gives up even without a failure-detector verdict.
+const MAX_FETCH_ROUNDS: u32 = 8;
 
 struct PendingAccept {
     msg: Message,
@@ -901,6 +905,56 @@ impl Runtime {
         }
     }
 
+    /// Like [`Runtime::wait_accepted`], but gives up when the absolute
+    /// virtual-time `deadline` passes, returning `None`. Traffic for other
+    /// handlers is still serviced while waiting.
+    pub fn wait_accepted_until(&mut self, handler: u32, deadline: Ns) -> Option<AcceptedMsg> {
+        self.wait_accepted_any_until(&[handler], deadline)
+    }
+
+    /// Like [`Runtime::wait_accepted_any`] with an absolute deadline.
+    pub fn wait_accepted_any_until(
+        &mut self,
+        handlers: &[u32],
+        deadline: Ns,
+    ) -> Option<AcceptedMsg> {
+        loop {
+            self.poll();
+            if let Some(pos) = self
+                .core
+                .accepted
+                .iter()
+                .position(|m| handlers.contains(&m.handler))
+            {
+                return self.core.accepted.remove(pos);
+            }
+            if self.core.ctx.now() >= deadline {
+                return None;
+            }
+            self.pump(Some(deadline));
+        }
+    }
+
+    /// Whether the transport's failure detector currently considers `peer`
+    /// dead (see [`carlos_sim::transport::Transport::peer_down`]). Always
+    /// `false` in Implicit ack mode.
+    #[must_use]
+    pub fn peer_down(&self, peer: NodeId) -> bool {
+        self.core.transport.peer_down(peer)
+    }
+
+    /// Sends a liveness probe to `peer` (no-op in Implicit ack mode, for
+    /// self, or while a probe is already outstanding). An unanswered probe
+    /// flags the peer down after [`ArqTuning::probe_rtos`] RTOs.
+    pub fn probe_peer(&mut self, peer: NodeId) {
+        self.core.transport.probe(peer);
+    }
+
+    /// Replaces the transport's retransmission/failure-detection tuning.
+    pub fn set_arq_tuning(&mut self, tuning: ArqTuning) {
+        self.core.transport.set_tuning(tuning);
+    }
+
     /// Sleeps for `dt` of virtual time while continuing to service
     /// incoming messages (handlers run as interrupt extensions in CarlOS,
     /// so a sleeping application still serves lock forwards, diff
@@ -1045,8 +1099,46 @@ impl Runtime {
 
     fn resolve_demands(&mut self, demands: Vec<Demand>) {
         let waiting = self.issue_demands(demands);
+        let Some(timeout) = self.core.cfg.fetch_timeout else {
+            // Historical wait-forever path: no timer events, so fault-free
+            // runs are event-for-event identical with and without this code.
+            while waiting.iter().any(|k| self.core.inflight.contains(k)) {
+                self.pump(None);
+            }
+            return;
+        };
+        let mut rounds: u32 = 0;
         while waiting.iter().any(|k| self.core.inflight.contains(k)) {
-            self.pump(None);
+            let deadline = self.core.ctx.now() + timeout;
+            let mut progressed = false;
+            while self.core.ctx.now() < deadline {
+                if self.pump(Some(deadline)) {
+                    progressed = true;
+                    break;
+                }
+            }
+            if progressed {
+                continue;
+            }
+            rounds += 1;
+            self.core.ctx.count("carlos.fetch_timeouts", 1);
+            for &(page, server) in waiting.iter().filter(|k| self.core.inflight.contains(k)) {
+                if self.core.transport.peer_down(server) || rounds > MAX_FETCH_ROUNDS {
+                    carlos_sim::abort(
+                        self.core.ctx.node_id(),
+                        format!(
+                            "page {page} fetch from node {server} abandoned after \
+                             {rounds} timeout rounds (peer {})",
+                            if self.core.transport.peer_down(server) {
+                                "is down"
+                            } else {
+                                "unresponsive"
+                            }
+                        ),
+                    );
+                }
+                self.core.transport.probe(server);
+            }
         }
     }
 

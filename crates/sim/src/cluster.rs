@@ -11,6 +11,7 @@ use parking_lot::{Condvar, Mutex, MutexGuard};
 
 use crate::{
     config::SimConfig,
+    error::{AbortInfo, BlockedProc, SimError},
     kernel::{EvKind, Kernel, ProcId, ProcState},
     stats::{Bucket, Counters, NetStats, TimeBuckets},
     time::{NodeId, Ns},
@@ -34,9 +35,17 @@ struct Shared {
     runner_cv: Condvar,
 }
 
-/// A failure synthesized by the runner itself (deadlock, safety valve),
-/// as opposed to a panic propagated from proc code.
-struct SimFailure(String);
+/// Why the event loop stopped without a report.
+enum RunFailure {
+    /// A proc panicked; the payload is re-thrown (or stringified) later.
+    Panic {
+        payload: Box<dyn std::any::Any + Send>,
+        /// Node of the panicking proc, when attributable.
+        node: Option<NodeId>,
+    },
+    /// The runner itself detected a failure (deadlock, safety valve).
+    Error(SimError),
+}
 
 /// A deterministic simulated cluster.
 ///
@@ -58,6 +67,7 @@ impl Cluster {
     #[must_use]
     pub fn new(config: SimConfig, n_nodes: usize) -> Self {
         assert!(n_nodes > 0, "a cluster needs at least one node");
+        install_quiet_unwind_hook();
         Self {
             shared: Arc::new(Shared {
                 kernel: Mutex::new(Kernel::new(config, n_nodes)),
@@ -113,10 +123,58 @@ impl Cluster {
     ///
     /// Re-raises any panic from a proc (so test assertions inside node code
     /// fail the test), and panics on deadlock (all procs parked with no
-    /// pending events) or when a configured safety valve trips.
+    /// pending events) or when a configured safety valve trips. Use
+    /// [`Cluster::try_run`] to receive those failures as a [`SimError`]
+    /// value instead.
     pub fn run(mut self) -> SimReport {
         let outcome = self.event_loop();
-        // Tear down: poison and wake every parked proc so threads exit.
+        self.teardown();
+        match outcome {
+            Ok(report) => report,
+            // Runner-synthesized failures re-panic with panic! so the
+            // message actually prints; proc panics already printed.
+            Err(RunFailure::Error(e)) => panic!("{e}"),
+            Err(RunFailure::Panic { payload, .. }) => match payload.downcast::<AbortInfo>() {
+                Ok(a) => panic!("{a}"),
+                Err(other) => resume_unwind(other),
+            },
+        }
+    }
+
+    /// Runs the simulation to completion, returning failures as values.
+    ///
+    /// Unlike [`Cluster::run`], a deadlock, safety-valve trip, proc panic,
+    /// or protocol-layer [`crate::abort`] does not panic here: it comes back
+    /// as the corresponding [`SimError`] variant, with the fault plan's
+    /// crashed nodes attached so callers can attribute the failure.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`SimError`] describing how the run failed.
+    pub fn try_run(mut self) -> Result<SimReport, SimError> {
+        let outcome = self.event_loop();
+        self.teardown();
+        let crashed = self.shared.kernel.lock().fault.crashed_nodes();
+        match outcome {
+            Ok(report) => Ok(report),
+            Err(RunFailure::Error(e)) => Err(e),
+            Err(RunFailure::Panic { payload, node }) => match payload.downcast::<AbortInfo>() {
+                Ok(a) => Err(SimError::Aborted {
+                    node: a.node,
+                    context: a.context,
+                    crashed,
+                }),
+                Err(other) => Err(SimError::NodePanic {
+                    node,
+                    message: payload_message(&other),
+                    crashed,
+                }),
+            },
+        }
+    }
+
+    /// Poisons the kernel, wakes every parked proc, and joins all threads.
+    fn teardown(&mut self) {
         {
             let mut k = self.shared.kernel.lock();
             k.poisoned = true;
@@ -131,49 +189,44 @@ impl Cluster {
             // join error here is its secondary "poisoned" unwind at worst.
             let _ = t.join();
         }
-        match outcome {
-            Ok(report) => report,
-            Err(failure) => {
-                // Diagnostics synthesized by the runner (deadlock, safety
-                // valves) carry a SimFailure: re-panic with panic! so the
-                // message actually prints; proc panics already printed.
-                match failure.downcast::<SimFailure>() {
-                    Ok(diag) => panic!("{}", diag.0),
-                    Err(other) => resume_unwind(other),
-                }
-            }
-        }
     }
 
-    fn event_loop(&mut self) -> Result<SimReport, Box<dyn std::any::Any + Send>> {
+    fn event_loop(&mut self) -> Result<SimReport, RunFailure> {
         let shared = Arc::clone(&self.shared);
         let mut k = shared.kernel.lock();
         loop {
             if let Some(p) = k.panic.take() {
-                return Err(p);
+                let node = k.panic_node.take();
+                return Err(RunFailure::Panic { payload: p, node });
             }
             if k.live_procs == 0 {
                 return Ok(build_report(&k));
             }
             let Some(std::cmp::Reverse(ev)) = k.queue.pop() else {
-                let diag = deadlock_diagnostic(&k);
-                return Err(Box::new(SimFailure(format!("simulation deadlock: {diag}"))));
+                return Err(RunFailure::Error(SimError::Stalled {
+                    at: k.now,
+                    blocked: blocked_procs(&k),
+                    crashed: k.fault.crashed_nodes(),
+                }));
             };
             k.events_processed += 1;
             if let Some(max) = k.config.max_events {
                 if k.events_processed > max {
-                    return Err(Box::new(SimFailure(format!(
-                        "simulation exceeded max_events = {max} (runaway protocol?)"
-                    ))));
+                    return Err(RunFailure::Error(SimError::MaxEvents {
+                        limit: max,
+                        at: k.now,
+                        crashed: k.fault.crashed_nodes(),
+                    }));
                 }
             }
             debug_assert!(ev.time >= k.now, "event queue went backwards in time");
             k.now = k.now.max(ev.time);
             if let Some(max) = k.config.max_virtual_time {
                 if k.now > max {
-                    return Err(Box::new(SimFailure(format!(
-                        "simulation exceeded max_virtual_time = {max} ns"
-                    ))));
+                    return Err(RunFailure::Error(SimError::MaxVirtualTime {
+                        limit: max,
+                        crashed: k.fault.crashed_nodes(),
+                    }));
                 }
             }
             match ev.kind {
@@ -198,6 +251,18 @@ impl Cluster {
                     }
                 }
                 EvKind::Deliver { dst, dgram } => {
+                    if k.fault.is_crashed(dst) {
+                        // The frame crossed the wire but nobody is home.
+                        k.net.dropped_crash += 1;
+                        continue;
+                    }
+                    if let Some(until) = k.fault.pause_until(dst, k.now) {
+                        // The node is in a scripted pause: it drains nothing
+                        // until the pause ends. Re-deliver at that instant.
+                        k.net.deferred_pause += 1;
+                        k.push_event(until, EvKind::Deliver { dst, dgram });
+                        continue;
+                    }
                     k.nodes[dst as usize].mailbox.push_back(dgram);
                     let now = k.now;
                     let waiters: Vec<(ProcId, u64)> = k
@@ -211,35 +276,60 @@ impl Cluster {
                         k.push_event(now, EvKind::Wake { pid, seq });
                     }
                 }
+                EvKind::Crash { node } => {
+                    if k.fault.is_crashed(node) {
+                        continue;
+                    }
+                    k.fault.mark_crashed(node);
+                    let pending = k.nodes[node as usize].mailbox.len() as u64;
+                    k.net.dropped_crash += pending;
+                    k.nodes[node as usize].mailbox.clear();
+                    k.nodes[node as usize].counters.add("node.crashed", 1);
+                    // Terminate the node's procs: each wakes inside park(),
+                    // observes the crash flag, and unwinds with a
+                    // CrashUnwind payload (not captured as a panic). Wait
+                    // for each to finish its bookkeeping so live_procs and
+                    // the queue are consistent before the next event.
+                    let pids: Vec<ProcId> = k
+                        .procs
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, p)| p.node == node && !p.finished)
+                        .map(|(pid, _)| pid)
+                        .collect();
+                    for pid in pids {
+                        while !k.procs[pid].finished {
+                            k.procs[pid].cv.notify_one();
+                            shared.runner_cv.wait(&mut k);
+                        }
+                    }
+                }
             }
         }
     }
 }
 
-fn deadlock_diagnostic(k: &Kernel) -> String {
-    let stuck: Vec<String> = k
-        .procs
+fn blocked_procs(k: &Kernel) -> Vec<BlockedProc> {
+    k.procs
         .iter()
         .enumerate()
         .filter(|(_, p)| !p.finished)
-        .map(|(pid, p)| {
-            format!(
-                "proc {pid} on node {} ({})",
-                p.node,
-                if p.waiting_for_msg {
-                    "waiting for a message"
-                } else {
-                    "parked"
-                }
-            )
+        .map(|(pid, p)| BlockedProc {
+            pid,
+            node: p.node,
+            waiting_for_msg: p.waiting_for_msg,
         })
-        .collect();
-    format!(
-        "no pending events at t = {} ns but {} procs alive: [{}]",
-        k.now,
-        stuck.len(),
-        stuck.join(", ")
-    )
+        .collect()
+}
+
+fn payload_message(payload: &Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 fn build_report(k: &Kernel) -> SimReport {
@@ -250,6 +340,7 @@ fn build_report(k: &Kernel) -> SimReport {
         net: k.net,
         bandwidth_bps: k.config.bandwidth_bps,
         events_processed: k.events_processed,
+        crashed_nodes: k.fault.crashed_nodes(),
     }
 }
 
@@ -268,10 +359,12 @@ fn spawn_proc_thread(ctx: NodeCtx, main: impl FnOnce(NodeCtx) + Send + 'static) 
                 shared.runner_cv.notify_one();
                 let cv = Arc::clone(&k.procs[pid].cv);
                 while !k.procs[pid].runnable {
-                    if k.poisoned {
-                        // Teardown before we ever ran; just exit.
+                    let node = k.procs[pid].node;
+                    if k.poisoned || k.fault.is_crashed(node) {
+                        // Teardown or fail-stop before we ever ran; exit.
                         k.procs[pid].finished = true;
                         k.live_procs -= 1;
+                        shared.runner_cv.notify_one();
                         return;
                     }
                     cv.wait(&mut k);
@@ -280,13 +373,16 @@ fn spawn_proc_thread(ctx: NodeCtx, main: impl FnOnce(NodeCtx) + Send + 'static) 
             }
             let result = catch_unwind(AssertUnwindSafe(|| main(ctx)));
             let mut k = shared.kernel.lock();
+            let node = k.procs[pid].node;
             k.procs[pid].finished = true;
             k.procs[pid].parked = false;
             k.live_procs -= 1;
             k.end_time = k.end_time.max(k.now);
             if let Err(payload) = result {
-                if !is_poison_unwind(&payload) && k.panic.is_none() {
+                if !is_poison_unwind(&payload) && !payload.is::<CrashUnwind>() && k.panic.is_none()
+                {
                     k.panic = Some(payload);
+                    k.panic_node = Some(node);
                 }
             }
             if k.running == Some(pid) {
@@ -301,9 +397,42 @@ fn is_poison_unwind(payload: &Box<dyn std::any::Any + Send>) -> bool {
     payload
         .downcast_ref::<&'static str>()
         .is_some_and(|s| *s == POISON_MSG)
+        || payload
+            .downcast_ref::<String>()
+            .is_some_and(|s| s == POISON_MSG)
 }
 
 const POISON_MSG: &str = "carlos-sim: run torn down while proc was parked";
+
+/// Installs (once per process) a panic hook that silences the *expected*
+/// unwinds the simulator uses for control flow — scripted crashes
+/// ([`CrashUnwind`]), attributed aborts ([`AbortInfo`]), and the poison
+/// unwind that tears down parked procs. Without this, the default hook
+/// prints `Box<dyn Any>` plus a backtrace to stderr every time a fault
+/// plan crashes a node, even though the unwind is caught and handled.
+/// Every other panic still reaches the previously installed hook.
+fn install_quiet_unwind_hook() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let p = info.payload();
+            let expected = p.is::<CrashUnwind>()
+                || p.is::<AbortInfo>()
+                || p.downcast_ref::<&'static str>()
+                    .is_some_and(|s| *s == POISON_MSG)
+                || p.downcast_ref::<String>().is_some_and(|s| s == POISON_MSG);
+            if !expected {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Zero-sized panic payload used to unwind the procs of a fail-stopped
+/// node. Recognized (and discarded) by the proc-thread epilogue so a
+/// scripted crash is never mistaken for an application panic.
+struct CrashUnwind;
 
 /// Handle through which simulated node code interacts with the cluster.
 ///
@@ -452,7 +581,7 @@ impl NodeCtx {
         k.nodes[self.node as usize]
             .counters
             .add("net.sent_bytes", dgram.payload.len() as u64);
-        if let Some(deliver_at) = k.wire_transmit(dgram.payload.len(), now) {
+        if let Some(deliver_at) = k.wire_transmit(self.node, dst, dgram.payload.len(), now) {
             k.push_event(deliver_at, EvKind::Deliver { dst, dgram });
         }
     }
@@ -619,6 +748,11 @@ impl NodeCtx {
             if k.poisoned {
                 panic!("{POISON_MSG}");
             }
+            if k.fault.is_crashed(self.node) {
+                // Fail-stop: unwind out of the proc without being treated
+                // as an application panic.
+                std::panic::panic_any(CrashUnwind);
+            }
             cv.wait(k);
         }
         k.procs[self.pid].runnable = false;
@@ -641,6 +775,9 @@ pub struct SimReport {
     pub bandwidth_bps: u64,
     /// Kernel events processed (a determinism fingerprint).
     pub events_processed: u64,
+    /// Nodes fail-stopped by the fault plan during the run, in id order.
+    /// Empty for fault-free runs (and absent from fingerprints).
+    pub crashed_nodes: Vec<NodeId>,
 }
 
 impl SimReport {

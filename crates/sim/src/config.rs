@@ -1,6 +1,9 @@
 //! Simulator configuration: network model and cost constants.
 
-use crate::time::{us, Ns};
+use crate::{
+    fault::FaultPlan,
+    time::{us, Ns},
+};
 
 /// Configuration for a simulated cluster.
 ///
@@ -32,6 +35,9 @@ pub struct SimConfig {
     pub max_virtual_time: Option<Ns>,
     /// Abort the run after this many kernel events. `None` disables.
     pub max_events: Option<u64>,
+    /// Scripted fault schedule (burst loss, partitions, pauses, crashes).
+    /// The default empty plan injects nothing.
+    pub fault_plan: FaultPlan,
 }
 
 impl Default for SimConfig {
@@ -63,6 +69,7 @@ impl SimConfig {
             loss_seed: 0x0C0A_5105,
             max_virtual_time: None,
             max_events: None,
+            fault_plan: FaultPlan::default(),
         }
     }
 
@@ -79,6 +86,7 @@ impl SimConfig {
             loss_seed: 1,
             max_virtual_time: Some(crate::time::secs(7_200)),
             max_events: Some(200_000_000),
+            fault_plan: FaultPlan::default(),
         }
     }
 
@@ -91,6 +99,13 @@ impl SimConfig {
         );
         self.loss_probability = probability;
         self.loss_seed = seed;
+        self
+    }
+
+    /// Returns `self` with the given scripted fault plan (builder style).
+    #[must_use]
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
         self
     }
 

@@ -21,6 +21,7 @@ use carlos_util::rng::Xoshiro256;
 use crate::{
     cluster::Datagram,
     config::SimConfig,
+    fault::{DropCause, FaultState},
     stats::{Counters, NetStats, TimeBuckets},
     time::{NodeId, Ns},
 };
@@ -36,6 +37,9 @@ pub(crate) enum EvKind {
     Wake { pid: ProcId, seq: u64 },
     /// Append a datagram to `dst`'s mailbox and wake its mailbox waiters.
     Deliver { dst: NodeId, dgram: Datagram },
+    /// Fail-stop `node` per the fault plan: discard its mailbox, terminate
+    /// its procs, drop all future deliveries to it.
+    Crash { node: NodeId },
 }
 
 #[derive(Debug)]
@@ -119,8 +123,12 @@ pub(crate) struct Kernel {
     pub medium_busy_until: Ns,
     pub net: NetStats,
     pub loss_rng: Xoshiro256,
+    /// Scripted-fault runtime state compiled from the config's plan.
+    pub fault: FaultState,
     /// First panic payload captured from a proc, re-thrown by the runner.
     pub panic: Option<Box<dyn Any + Send>>,
+    /// Node of the proc whose panic was captured.
+    pub panic_node: Option<NodeId>,
     /// Set when the run is being torn down; parked procs abort.
     pub poisoned: bool,
     /// Events processed so far (for the runaway safety valve).
@@ -132,7 +140,9 @@ pub(crate) struct Kernel {
 impl Kernel {
     pub fn new(config: SimConfig, n_nodes: usize) -> Self {
         let loss_rng = Xoshiro256::new(config.loss_seed);
-        Self {
+        let fault = FaultState::new(&config.fault_plan, n_nodes);
+        let crashes: Vec<(NodeId, Ns)> = config.fault_plan.crash_times().collect();
+        let mut k = Self {
             config,
             now: 0,
             queue: BinaryHeap::new(),
@@ -144,11 +154,17 @@ impl Kernel {
             medium_busy_until: 0,
             net: NetStats::default(),
             loss_rng,
+            fault,
             panic: None,
+            panic_node: None,
             poisoned: false,
             events_processed: 0,
             end_time: 0,
+        };
+        for (node, at) in crashes {
+            k.push_event(at, EvKind::Crash { node });
         }
+        k
     }
 
     pub fn push_event(&mut self, time: Ns, kind: EvKind) {
@@ -162,20 +178,47 @@ impl Kernel {
         self.queue.peek().map(|Reverse(e)| e.time)
     }
 
-    /// Models the shared wire carrying `bytes` of payload starting no
-    /// earlier than `ready_at`. Returns `Some(delivery_time)` or `None` if
-    /// loss injection dropped the frame (the wire is occupied either way).
-    pub fn wire_transmit(&mut self, bytes: usize, ready_at: Ns) -> Option<Ns> {
+    /// Models the shared wire carrying `bytes` of payload from `src` to
+    /// `dst` starting no earlier than `ready_at`. Returns
+    /// `Some(delivery_time)` or `None` if loss injection — uniform or
+    /// scripted (burst window, partition) — dropped the frame. The wire is
+    /// occupied either way.
+    ///
+    /// The fault evaluation is additive and deterministic: the scripted
+    /// fault state is advanced for every frame (its Gilbert–Elliott streams
+    /// depend only on traffic order, not on the uniform-loss RNG), and the
+    /// uniform-loss draw is short-circuited when `loss_probability` is zero,
+    /// so fault-free configs see bit-identical RNG consumption with or
+    /// without this code path.
+    pub fn wire_transmit(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        bytes: usize,
+        ready_at: Ns,
+    ) -> Option<Ns> {
         let start = self.medium_busy_until.max(ready_at);
         let ft = self.config.frame_time(bytes);
         self.medium_busy_until = start + ft;
-        let dropped = self.config.loss_probability > 0.0
+        let base_drop = self.config.loss_probability > 0.0
             && self.loss_rng.next_f64() < self.config.loss_probability;
-        if dropped {
+        let fault_drop = self.fault.frame_fate(src, dst, start);
+        if base_drop {
             self.net.dropped += 1;
-            None
-        } else {
-            Some(start + ft + self.config.wire_latency)
+            return None;
+        }
+        match fault_drop {
+            Some(DropCause::Burst) => {
+                self.net.dropped += 1;
+                self.net.dropped_burst += 1;
+                None
+            }
+            Some(DropCause::Partition) => {
+                self.net.dropped += 1;
+                self.net.dropped_partition += 1;
+                None
+            }
+            None => Some(start + ft + self.config.wire_latency),
         }
     }
 }

@@ -48,11 +48,16 @@ mod cluster;
 mod kernel;
 
 pub mod config;
+pub mod error;
+pub mod fault;
 pub mod stats;
 pub mod time;
 pub mod transport;
 
 pub use cluster::{Cluster, Datagram, NodeCtx, SimReport};
 pub use config::SimConfig;
+pub use error::{abort, AbortInfo, BlockedProc, SimError};
+pub use fault::{FaultPlan, FaultSpec, GeParams};
 pub use stats::{Bucket, Counters, NetStats, TimeBuckets};
 pub use time::{NodeId, Ns};
+pub use transport::{AckMode, ArqTuning, FrameBuf, Transport};

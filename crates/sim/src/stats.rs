@@ -119,8 +119,20 @@ pub struct NetStats {
     pub messages: u64,
     /// Sum of datagram payload bytes (headers excluded), as the paper counts.
     pub payload_bytes: u64,
-    /// Datagrams dropped by loss injection.
+    /// Datagrams dropped by loss injection (uniform, burst, and partition
+    /// drops all count here; the fault-specific counters below attribute
+    /// their shares).
     pub dropped: u64,
+    /// Of `dropped`: frames lost to a scripted Gilbert–Elliott burst window.
+    pub dropped_burst: u64,
+    /// Of `dropped`: frames lost to a scripted link partition.
+    pub dropped_partition: u64,
+    /// Datagrams discarded because the destination node had fail-stopped
+    /// (pending mailbox contents at the crash instant plus later arrivals).
+    /// Not part of `dropped`: these frames did traverse the wire.
+    pub dropped_crash: u64,
+    /// Deliveries deferred because the destination was in a scripted pause.
+    pub deferred_pause: u64,
 }
 
 impl NetStats {
@@ -203,7 +215,7 @@ mod tests {
         let n = NetStats {
             messages: 4,
             payload_bytes: 1000,
-            dropped: 0,
+            ..NetStats::default()
         };
         assert_eq!(n.avg_size(), 250);
         // 8000 bits over 1 ms at 10 Mbit/s = 80% utilization.

@@ -20,6 +20,8 @@ use std::collections::{BTreeMap, VecDeque};
 
 use bytes::{BufMut, Bytes, BytesMut};
 
+use carlos_util::rng::SplitMix64;
+
 use crate::{
     cluster::NodeCtx,
     time::{NodeId, Ns},
@@ -43,6 +45,42 @@ pub enum AckMode {
 const HEADER_BYTES: usize = 5;
 const KIND_DATA: u8 = 0;
 const KIND_ACK: u8 = 1;
+const KIND_PING: u8 = 2;
+const KIND_PONG: u8 = 3;
+
+/// Retransmission and failure-detection knobs for [`AckMode::Arq`].
+///
+/// The defaults give classic bounded exponential backoff (interval
+/// `rto << min(attempts - 1, max_backoff_exp)` after the `attempts`-th
+/// consecutive timeout) plus a small deterministic per-(node, peer,
+/// attempt) jitter that decorrelates retransmit storms between nodes
+/// without breaking run-to-run determinism.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArqTuning {
+    /// Cap on the backoff shift: the retransmit interval never exceeds
+    /// `rto << max_backoff_exp`.
+    pub max_backoff_exp: u32,
+    /// Consecutive timeouts without ack progress after which the peer is
+    /// flagged down ([`Transport::peer_down`]). Retransmission continues at
+    /// the capped interval so a healed partition still recovers.
+    pub max_attempts: u32,
+    /// Add deterministic jitter (up to interval/8) to each backoff.
+    pub jitter: bool,
+    /// An explicit [`Transport::probe`] waits this many RTOs for any sign
+    /// of life before flagging the peer down.
+    pub probe_rtos: u32,
+}
+
+impl Default for ArqTuning {
+    fn default() -> Self {
+        Self {
+            max_backoff_exp: 6,
+            max_attempts: 30,
+            jitter: true,
+            probe_rtos: 8,
+        }
+    }
+}
 
 /// An outgoing message body with transport-header headroom in front.
 ///
@@ -110,6 +148,14 @@ fn frame_ack(cum: u32) -> Bytes {
     FrameBuf::from_body(&[]).seal(KIND_ACK, cum)
 }
 
+fn frame_ping() -> Bytes {
+    FrameBuf::from_body(&[]).seal(KIND_PING, 0)
+}
+
+fn frame_pong() -> Bytes {
+    FrameBuf::from_body(&[]).seal(KIND_PONG, 0)
+}
+
 #[derive(Debug, Default)]
 struct PeerTx {
     next_seq: u32,
@@ -121,6 +167,15 @@ struct PeerTx {
     queued: VecDeque<FrameBuf>,
     /// Absolute deadline of the pending retransmission timer.
     rto_at: Option<Ns>,
+    /// Consecutive retransmission timeouts without ack progress.
+    attempts: u32,
+    /// Failure-detector verdict: the peer has gone `max_attempts` timeouts
+    /// (or an unanswered probe) without any sign of life. Cleared the
+    /// moment anything arrives from the peer.
+    down: bool,
+    /// Deadline by which an outstanding [`Transport::probe`] ping must be
+    /// answered (by any datagram from the peer).
+    probe_deadline: Option<Ns>,
 }
 
 #[derive(Debug, Default)]
@@ -138,6 +193,7 @@ struct PeerRx {
 pub struct Transport {
     ctx: NodeCtx,
     mode: AckMode,
+    tuning: ArqTuning,
     tx: Vec<PeerTx>,
     rx: Vec<PeerRx>,
     ready: VecDeque<(NodeId, Bytes)>,
@@ -151,6 +207,7 @@ impl Transport {
         Self {
             ctx,
             mode,
+            tuning: ArqTuning::default(),
             tx: (0..n).map(|_| PeerTx::default()).collect(),
             rx: (0..n).map(|_| PeerRx::default()).collect(),
             ready: VecDeque::new(),
@@ -161,6 +218,50 @@ impl Transport {
     #[must_use]
     pub fn ctx(&self) -> &NodeCtx {
         &self.ctx
+    }
+
+    /// Replaces the retransmission/failure-detection tuning (Arq mode).
+    pub fn set_tuning(&mut self, tuning: ArqTuning) {
+        self.tuning = tuning;
+    }
+
+    /// The current retransmission/failure-detection tuning.
+    #[must_use]
+    pub fn tuning(&self) -> ArqTuning {
+        self.tuning
+    }
+
+    /// Whether the failure detector currently considers `peer` dead: it has
+    /// gone [`ArqTuning::max_attempts`] consecutive retransmission timeouts,
+    /// or an unanswered [`Transport::probe`], without any datagram arriving
+    /// from it. Any later arrival clears the verdict (and counts
+    /// `transport.peer_revived`), so a healed partition recovers.
+    #[must_use]
+    pub fn peer_down(&self, peer: NodeId) -> bool {
+        self.tx
+            .get(peer as usize)
+            .is_some_and(|p| p.down)
+    }
+
+    /// Sends a liveness probe (ping) to `peer` unless one is already
+    /// outstanding. If nothing — pong, ack, or data — arrives from the peer
+    /// within [`ArqTuning::probe_rtos`] RTOs, the failure detector flags it
+    /// down. No-op in Implicit mode and for self.
+    ///
+    /// Probes ride the normal datagram path, so they also serve as traffic
+    /// that re-opens a healed link: the peer's pong resets this node's
+    /// backoff state immediately.
+    pub fn probe(&mut self, peer: NodeId) {
+        let AckMode::Arq { rto, .. } = self.mode else {
+            return;
+        };
+        if peer == self.ctx.node_id() || self.tx[peer as usize].probe_deadline.is_some() {
+            return;
+        }
+        let wait = rto * Ns::from(self.tuning.probe_rtos);
+        self.tx[peer as usize].probe_deadline = Some(self.ctx.now() + wait);
+        self.ctx.count("transport.pings", 1);
+        self.ctx.send_datagram(peer, frame_ping());
     }
 
     /// Replaces the proc context used for waiting and time charging.
@@ -239,7 +340,7 @@ impl Transport {
                     return None;
                 }
             }
-            let rto = self.earliest_rto();
+            let rto = self.earliest_timer();
             let wait_until = match (deadline, rto) {
                 (Some(a), Some(b)) => Some(a.min(b)),
                 (Some(a), None) => Some(a),
@@ -277,10 +378,26 @@ impl Transport {
         let mut deadline = self.ctx.now() + rto * 32;
         while self.has_unacked() {
             if self.ctx.now() >= deadline {
+                // Count what is being abandoned — every frame still unacked
+                // or never sent — then drop it all so the give-up is final
+                // (and a later flush is an immediate no-op) instead of
+                // silently retaining frames that will never be delivered.
+                let abandoned: usize = self
+                    .tx
+                    .iter()
+                    .map(|p| p.unacked.len() + p.queued.len())
+                    .sum();
+                self.ctx
+                    .count("transport.flush_abandoned", abandoned as u64);
                 self.ctx.count("transport.flush_gave_up", 1);
+                for p in &mut self.tx {
+                    p.unacked.clear();
+                    p.queued.clear();
+                    p.rto_at = None;
+                }
                 return;
             }
-            let next = self.earliest_rto().map_or(deadline, |t| t.min(deadline));
+            let next = self.earliest_timer().map_or(deadline, |t| t.min(deadline));
             match self.ctx.wait_recv(Some(next)) {
                 Some(d) => {
                     self.handle_datagram(d.src, d.payload);
@@ -297,8 +414,29 @@ impl Transport {
         }
     }
 
-    fn earliest_rto(&self) -> Option<Ns> {
-        self.tx.iter().filter_map(|p| p.rto_at).min()
+    /// Earliest pending transport timer: retransmission or probe deadline.
+    fn earliest_timer(&self) -> Option<Ns> {
+        self.tx
+            .iter()
+            .flat_map(|p| [p.rto_at, p.probe_deadline])
+            .flatten()
+            .min()
+    }
+
+    /// Backoff interval after the `attempts`-th consecutive timeout to
+    /// `dst`: `rto << min(attempts - 1, cap)` plus a deterministic jitter of
+    /// up to interval/8 derived from (node, peer, attempt) — two nodes
+    /// retransmitting to each other never stay phase-locked, yet the same
+    /// run replays identically.
+    fn backoff_interval(&self, dst: NodeId, attempts: u32, rto: Ns) -> Ns {
+        let exp = attempts.saturating_sub(1).min(self.tuning.max_backoff_exp);
+        let base = rto << exp;
+        if !self.tuning.jitter {
+            return base;
+        }
+        let me = u64::from(self.ctx.node_id());
+        let seed = me ^ (u64::from(dst) << 16) ^ (u64::from(attempts) << 32);
+        base + SplitMix64::new(seed).next_u64() % (base / 8 + 1)
     }
 
     fn fire_timeouts(&mut self) {
@@ -307,24 +445,55 @@ impl Transport {
         };
         let now = self.ctx.now();
         for dst in 0..self.tx.len() {
+            // An expired probe deadline means the ping went unanswered.
+            if self.tx[dst].probe_deadline.is_some_and(|t| t <= now) {
+                self.tx[dst].probe_deadline = None;
+                self.ctx.count("transport.probe_timeouts", 1);
+                if !self.tx[dst].down {
+                    self.tx[dst].down = true;
+                    self.ctx.count("transport.peer_down", 1);
+                }
+            }
             let due = self.tx[dst].rto_at.is_some_and(|t| t <= now);
             if !due {
                 continue;
             }
             // Go-back-N: retransmit everything unacknowledged. The frames
             // were sealed at first transmission, so each retransmit is an
-            // O(1) handle clone of the original bytes.
+            // O(1) handle clone of the original bytes. Retransmission
+            // continues even once the peer is flagged down — at the capped
+            // backoff interval it doubles as a cheap reprobe, so a healed
+            // partition recovers without explicit reconnection.
             let frames: Vec<Bytes> =
                 self.tx[dst].unacked.iter().map(|(_, f)| f.clone()).collect();
             for payload in frames {
                 self.ctx.count("transport.retransmits", 1);
                 self.ctx.send_datagram(dst as NodeId, payload);
             }
-            self.tx[dst].rto_at = if self.tx[dst].unacked.is_empty() {
-                None
-            } else {
-                Some(self.ctx.now() + rto)
-            };
+            if self.tx[dst].unacked.is_empty() {
+                self.tx[dst].rto_at = None;
+                continue;
+            }
+            let attempts = self.tx[dst].attempts.saturating_add(1);
+            self.tx[dst].attempts = attempts;
+            if attempts >= self.tuning.max_attempts && !self.tx[dst].down {
+                self.tx[dst].down = true;
+                self.ctx.count("transport.peer_down", 1);
+            }
+            let interval = self.backoff_interval(dst as NodeId, attempts, rto);
+            self.tx[dst].rto_at = Some(self.ctx.now() + interval);
+        }
+    }
+
+    /// Any datagram from `src` is proof of life: it clears the failure
+    /// detector's verdict and any outstanding probe.
+    fn note_heard(&mut self, src: NodeId) {
+        let peer = &mut self.tx[src as usize];
+        peer.probe_deadline = None;
+        if peer.down {
+            peer.down = false;
+            peer.attempts = 0;
+            self.ctx.count("transport.peer_revived", 1);
         }
     }
 
@@ -342,9 +511,17 @@ impl Transport {
         );
         // O(1) sub-view of the arriving frame — no receive-side body copy.
         let body = payload.slice(HEADER_BYTES..);
+        self.note_heard(src);
         match kind {
             KIND_DATA => self.handle_data(src, seq, body),
             KIND_ACK => self.handle_ack(src, seq),
+            KIND_PING => {
+                self.ctx.count("transport.pings_answered", 1);
+                if src != self.ctx.node_id() {
+                    self.ctx.send_datagram(src, frame_pong());
+                }
+            }
+            KIND_PONG => {}
             _ => self.ctx.count("transport.malformed", 1),
         }
     }
@@ -377,8 +554,13 @@ impl Transport {
             return;
         };
         let peer = &mut self.tx[src as usize];
+        let before = peer.unacked.len();
         while peer.unacked.front().is_some_and(|(s, _)| *s < cum) {
             peer.unacked.pop_front();
+        }
+        if peer.unacked.len() < before {
+            // Ack progress: the path works again; restart backoff from rto.
+            peer.attempts = 0;
         }
         peer.rto_at = if peer.unacked.is_empty() {
             None

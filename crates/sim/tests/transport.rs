@@ -220,3 +220,155 @@ fn malformed_datagram_is_dropped() {
     });
     c.run();
 }
+
+// ---------------------------------------------------------------------------
+// Scripted-fault (chaos) coverage: the ARQ must ride out burst loss and
+// partitions, and fail loudly — not silently — when a peer never answers.
+// ---------------------------------------------------------------------------
+
+use carlos_sim::{FaultPlan, GeParams};
+use proptest::prelude::*;
+
+#[test]
+fn arq_delivers_through_burst_loss() {
+    // A sticky Gilbert–Elliott bad state that eats 90% of its frames.
+    let plan = FaultPlan::new(0xBEEF).burst_loss(0, ms(10_000), GeParams::bursty(0.9));
+    let cfg = SimConfig::fast_test().with_fault_plan(plan);
+    let mut c = Cluster::new(cfg, 2);
+    c.spawn_node(0, |ctx| {
+        let mut t = Transport::new(ctx, ARQ);
+        for i in 0..150u32 {
+            t.send(1, i.to_le_bytes().to_vec());
+        }
+        t.flush();
+    });
+    c.spawn_node(1, |ctx| {
+        let mut t = Transport::new(ctx, ARQ);
+        for i in 0..150u32 {
+            let (_, body) = t.wait(None).expect("delivery despite burst loss");
+            assert_eq!(u32::from_le_bytes(body[..].try_into().unwrap()), i);
+        }
+        while t.wait(Some(t.ctx().now() + ms(200))).is_some() {}
+    });
+    let r = c.run();
+    assert!(r.net.dropped_burst > 0, "the burst window must bite");
+    assert!(r.counter_total("transport.retransmits") > 0);
+}
+
+#[test]
+fn arq_survives_partition_then_heal() {
+    // Nothing crosses the wire between the two sides until the heal; the
+    // sender's backoff keeps a retransmit pending across it.
+    let plan = FaultPlan::new(3).partition(&[0], &[1], 0, ms(80));
+    let cfg = SimConfig::fast_test().with_fault_plan(plan);
+    let mut c = Cluster::new(cfg, 2);
+    c.spawn_node(0, |ctx| {
+        let mut t = Transport::new(ctx, ARQ);
+        for i in 0..30u32 {
+            t.send(1, i.to_le_bytes().to_vec());
+        }
+        t.flush();
+    });
+    c.spawn_node(1, |ctx| {
+        let mut t = Transport::new(ctx, ARQ);
+        for i in 0..30u32 {
+            let (_, body) = t.wait(None).expect("delivery after heal");
+            assert_eq!(u32::from_le_bytes(body[..].try_into().unwrap()), i);
+        }
+        while t.wait(Some(t.ctx().now() + ms(200))).is_some() {}
+    });
+    let r = c.run();
+    assert!(r.net.dropped_partition > 0, "the partition must bite");
+    assert!(r.counter_total("transport.retransmits") > 0);
+}
+
+#[test]
+fn flush_abandons_frames_to_a_dead_link_and_counts_them() {
+    // The link never heals and the receiver never answers: flush must give
+    // up after sustained silence and account for every abandoned frame.
+    let plan = FaultPlan::new(1).link_down(0, 1, 0, ms(3_600_000));
+    let cfg = SimConfig::fast_test().with_fault_plan(plan);
+    let mut c = Cluster::new(cfg, 2);
+    c.spawn_node(0, |ctx| {
+        let mut t = Transport::new(ctx, ARQ);
+        for i in 0..5u32 {
+            t.send(1, i.to_le_bytes().to_vec());
+        }
+        t.flush();
+        assert!(!t.has_unacked(), "give-up must be final");
+        assert_eq!(t.ctx().counter("transport.flush_abandoned"), 5);
+        assert_eq!(t.ctx().counter("transport.flush_gave_up"), 1);
+    });
+    c.spawn_node(1, |_ctx| {});
+    c.run();
+}
+
+#[test]
+fn sustained_silence_convicts_the_peer() {
+    let plan = FaultPlan::new(2).crash(1, ms(1));
+    let cfg = SimConfig::fast_test().with_fault_plan(plan);
+    let mut c = Cluster::new(cfg, 2);
+    c.spawn_node(0, |ctx| {
+        let mut t = Transport::new(ctx, ARQ);
+        assert!(!t.peer_down(1));
+        t.probe(1);
+        // Pump until the probe deadline passes and the detector convicts.
+        while !t.peer_down(1) {
+            let _ = t.wait(Some(t.ctx().now() + ms(50)));
+        }
+        assert!(t.peer_down(1));
+        assert!(t.ctx().counter("transport.probe_timeouts") >= 1);
+    });
+    c.spawn_node(1, |ctx| {
+        // Park until well past our crash time so the cluster stays alive
+        // from the scheduler's point of view until the fault fires.
+        ctx.sleep(ms(100));
+    });
+    let r = c.try_run();
+    // Node 1 crashed mid-sleep: the run reports it rather than succeeding.
+    match r {
+        Ok(rep) => assert_eq!(rep.crashed_nodes, vec![1]),
+        Err(e) => assert_eq!(e.crashed_nodes(), vec![1]),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Any loss regime short of a total blackout delivers every payload,
+    /// in order, exactly once.
+    #[test]
+    fn arq_delivers_everything_below_blackout(
+        loss_pct in 0u32..95,
+        p_exit_pct in 10u32..60,
+        seed in any::<u64>(),
+        n_msgs in 1usize..48,
+    ) {
+        let ge = GeParams {
+            p_enter_bad: 0.10,
+            p_exit_bad: f64::from(p_exit_pct) / 100.0,
+            loss_good: 0.02,
+            loss_bad: f64::from(loss_pct) / 100.0,
+        };
+        let plan = FaultPlan::new(seed).burst_loss(0, ms(60_000), ge);
+        let cfg = SimConfig::fast_test().with_fault_plan(plan);
+        let mut c = Cluster::new(cfg, 2);
+        let n = n_msgs as u32;
+        c.spawn_node(0, move |ctx| {
+            let mut t = Transport::new(ctx, ARQ);
+            for i in 0..n {
+                t.send(1, i.to_le_bytes().to_vec());
+            }
+            t.flush();
+        });
+        c.spawn_node(1, move |ctx| {
+            let mut t = Transport::new(ctx, ARQ);
+            for i in 0..n {
+                let (_, body) = t.wait(None).expect("delivery below blackout");
+                assert_eq!(u32::from_le_bytes(body[..].try_into().unwrap()), i);
+            }
+            while t.wait(Some(t.ctx().now() + ms(200))).is_some() {}
+        });
+        c.run();
+    }
+}

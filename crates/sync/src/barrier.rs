@@ -20,6 +20,7 @@ use carlos_sim::NodeId;
 use carlos_util::codec::{Decoder, Encoder};
 
 use crate::{
+    error::SyncError,
     ids::{H_BARRIER_ARRIVE, H_BARRIER_DEPART, H_GC_DONE, H_GC_GO},
     system::SyncSystem,
 };
@@ -66,12 +67,12 @@ fn body(id: u32, epoch: u32, gc: bool) -> Vec<u8> {
     e.finish_vec()
 }
 
-fn parse(b: &[u8]) -> (u32, u32, bool) {
+fn parse(b: &[u8]) -> Option<(u32, u32, bool)> {
     let mut d = Decoder::new(b);
-    let id = d.get_u32().expect("barrier id");
-    let epoch = d.get_u32().expect("barrier epoch");
-    let gc = d.get_u8().expect("barrier gc flag") != 0;
-    (id, epoch, gc)
+    let id = d.get_u32().ok()?;
+    let epoch = d.get_u32().ok()?;
+    let gc = d.get_u8().ok()? != 0;
+    Some((id, epoch, gc))
 }
 
 impl SyncSystem {
@@ -81,22 +82,59 @@ impl SyncSystem {
     /// node (applications typically keep a loop counter). When any node's
     /// consistency-record storage has crossed its GC threshold, the fall of
     /// the barrier triggers a global garbage collection before returning.
+    ///
+    /// # Panics
+    ///
+    /// With timeouts enabled (see [`crate::SyncTuning`]), a timed-out or
+    /// peer-down barrier escalates through [`carlos_sim::abort`].
     pub fn barrier(&self, rt: &mut Runtime, barrier: BarrierSpec, epoch: u32) {
+        if let Err(e) = self.try_barrier(rt, barrier, epoch) {
+            carlos_sim::abort(rt.node_id(), e.to_string());
+        }
+    }
+
+    /// Fallible [`SyncSystem::barrier`].
+    ///
+    /// The manager tracks which nodes have arrived, so a quiet timeout
+    /// round probes exactly the stragglers; a client probes the manager.
+    /// The post-barrier GC round (when triggered) still waits unboundedly:
+    /// it only runs after every node already checked in at this barrier.
+    ///
+    /// # Errors
+    ///
+    /// [`SyncError::PeerDown`] when a straggler (manager side) or the
+    /// manager (client side) is convicted, [`SyncError::Timeout`] after
+    /// the round budget.
+    pub fn try_barrier(
+        &self,
+        rt: &mut Runtime,
+        barrier: BarrierSpec,
+        epoch: u32,
+    ) -> Result<(), SyncError> {
         let n = rt.num_nodes() as u32;
         rt.ctx().count("barrier.waits", 1);
         if n == 1 {
-            return;
+            return Ok(());
         }
         let me = rt.node_id();
         let want_gc_local = rt.gc_needed();
         if me == barrier.manager {
             // Collect n-1 arrivals; acceptance makes us consistent with all.
             let mut gc = want_gc_local;
-            for _ in 0..n - 1 {
-                let m = rt.wait_accepted(H_BARRIER_ARRIVE);
-                let (id, ep, client_gc) = parse(&m.body);
+            let mut arrived = vec![false; n as usize];
+            arrived[me as usize] = true;
+            let mut arrivals = 0;
+            while arrivals < n - 1 {
+                let missing: Vec<NodeId> = (0..n).filter(|&p| !arrived[p as usize]).collect();
+                let m = self.wait_sync(rt, &[H_BARRIER_ARRIVE], "barrier", barrier.id, &missing)?;
+                let Some((id, ep, client_gc)) = parse(&m.body) else {
+                    rt.ctx().count("sync.malformed", 1);
+                    continue;
+                };
                 assert_eq!(id, barrier.id, "arrival for a different barrier");
                 assert_eq!(ep, epoch, "barrier epoch mismatch (overlapping use?)");
+                arrived[m.origin as usize] = true;
+                arrivals += 1;
                 gc |= client_gc;
             }
             // Departures: full RELEASEs; every client becomes consistent
@@ -126,14 +164,24 @@ impl SyncSystem {
                 body(barrier.id, epoch, want_gc_local),
                 annotation,
             );
-            let m = rt.wait_accepted(H_BARRIER_DEPART);
-            let (id, ep, gc) = parse(&m.body);
-            assert_eq!(id, barrier.id, "departure for a different barrier");
-            assert_eq!(ep, epoch, "barrier epoch mismatch (overlapping use?)");
-            if gc {
+            let m = self.wait_sync(
+                rt,
+                &[H_BARRIER_DEPART],
+                "barrier",
+                barrier.id,
+                &[barrier.manager],
+            )?;
+            let parsed = parse(&m.body);
+            assert_eq!(
+                parsed.map(|(id, ep, _)| (id, ep)),
+                Some((barrier.id, epoch)),
+                "departure for a different barrier or epoch (overlapping use?)"
+            );
+            if parsed.is_some_and(|(_, _, gc)| gc) {
                 self.gc_round_client(rt, barrier.manager);
             }
         }
+        Ok(())
     }
 
     /// Manager side of the GC round that follows a barrier fall: wait for

@@ -39,8 +39,8 @@ fn body(id: u32) -> Vec<u8> {
     e.finish_vec()
 }
 
-fn parse_id(b: &[u8]) -> u32 {
-    Decoder::new(b).get_u32().expect("cv body carries an id")
+fn parse_id(b: &[u8]) -> Option<u32> {
+    Decoder::new(b).get_u32().ok()
 }
 
 pub(crate) fn register(rt: &mut Runtime, sys: &SyncSystem) {
@@ -48,7 +48,11 @@ pub(crate) fn register(rt: &mut Runtime, sys: &SyncSystem) {
     rt.register(
         H_CV_WAIT,
         Box::new(move |env, msg| {
-            let id = parse_id(&msg.body);
+            let Some(id) = parse_id(&msg.body) else {
+                env.count("sync.malformed", 1);
+                env.discard(msg);
+                return;
+            };
             let waiter = msg.origin;
             env.discard(msg);
             s.with_tables(|t| t.cvs.entry(id).or_default().waiters.push_back(waiter));
@@ -59,7 +63,11 @@ pub(crate) fn register(rt: &mut Runtime, sys: &SyncSystem) {
     rt.register(
         H_CV_SIGNAL,
         Box::new(move |env, msg| {
-            let id = parse_id(&msg.body);
+            let Some(id) = parse_id(&msg.body) else {
+                env.count("sync.malformed", 1);
+                env.discard(msg);
+                return;
+            };
             let waiter = s.with_tables(|t| t.cvs.entry(id).or_default().waiters.pop_front());
             match waiter {
                 Some(w) => env.forward_as(msg, w, H_CV_WAKE),
@@ -74,7 +82,11 @@ pub(crate) fn register(rt: &mut Runtime, sys: &SyncSystem) {
     rt.register(
         H_CV_BROADCAST,
         Box::new(move |env, msg| {
-            let id = parse_id(&msg.body);
+            let Some(id) = parse_id(&msg.body) else {
+                env.count("sync.malformed", 1);
+                env.discard(msg);
+                return;
+            };
             // A stored message can only be forwarded once, so a broadcast
             // is accepted here and re-released to each waiter (the manager
             // becomes a transitive relay — correct, mildly over-consistent).
@@ -92,6 +104,13 @@ impl SyncSystem {
     /// Waits on `cv`, releasing `lock` while blocked and re-acquiring it
     /// before returning (Mesa semantics).
     ///
+    /// The wake wait is deliberately unbounded even when timeouts are
+    /// enabled: how long a condition stays false is an application
+    /// property, not a protocol round trip, so no timeout the sync layer
+    /// could pick would distinguish "peer crashed" from "nobody has
+    /// signalled yet". Crash coverage comes from the run-level safety
+    /// valves and the re-acquire (which does time out).
+    ///
     /// # Panics
     ///
     /// Panics if `lock` is not held.
@@ -101,7 +120,11 @@ impl SyncSystem {
         rt.send(cv.manager, H_CV_WAIT, body(cv.id), Annotation::Request);
         self.release(rt, lock);
         let m = rt.wait_accepted(H_CV_WAKE);
-        assert_eq!(parse_id(&m.body), cv.id, "wake for a different condvar");
+        assert_eq!(
+            parse_id(&m.body),
+            Some(cv.id),
+            "wake for a different condvar"
+        );
         self.acquire(rt, lock);
         rt.ctx().count("cv.waits", 1);
     }

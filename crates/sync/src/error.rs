@@ -1,0 +1,131 @@
+//! Typed failures and timeout tuning for the coordination protocols.
+//!
+//! Every blocking primitive has a fallible `try_*` variant returning
+//! [`SyncError`] once timeouts are enabled via [`SyncTuning`]. The
+//! infallible classics (`acquire`, `barrier`, …) wrap the fallible ones
+//! and escalate an error through [`carlos_sim::abort`], so a run under
+//! [`carlos_sim::Cluster::try_run`] still ends with a clean, attributed
+//! [`carlos_sim::SimError::Aborted`] instead of hanging.
+
+use std::fmt;
+
+use carlos_sim::{time::Ns, NodeId};
+
+/// Timeout behavior of the blocking coordination operations.
+///
+/// The default (`op_timeout: None`) keeps the historical wait-forever
+/// behavior and — important for determinism goldens — schedules no timer
+/// events at all, so enabling this struct's default changes nothing about
+/// a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SyncTuning {
+    /// How long one blocking wait (lock grant, barrier departure,
+    /// semaphore grant, queue item) may make no progress before the
+    /// operation probes its peers and counts a timeout round. `None`
+    /// disables timeouts entirely.
+    pub op_timeout: Option<Ns>,
+    /// Timeout rounds before the operation gives up with
+    /// [`SyncError::Timeout`] even without a failure-detector verdict.
+    pub max_rounds: u32,
+}
+
+impl Default for SyncTuning {
+    fn default() -> Self {
+        Self {
+            op_timeout: None,
+            max_rounds: 8,
+        }
+    }
+}
+
+impl SyncTuning {
+    /// Tuning with the given per-round timeout and the default round cap.
+    #[must_use]
+    pub fn with_timeout(timeout: Ns) -> Self {
+        Self {
+            op_timeout: Some(timeout),
+            ..Self::default()
+        }
+    }
+}
+
+/// A coordination operation that could not complete.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SyncError {
+    /// The operation exhausted its timeout rounds without any reply, and
+    /// the failure detector never flagged a peer — the protocol is stuck
+    /// for some other reason (overload, partition the detector has not
+    /// yet confirmed, application deadlock).
+    Timeout {
+        /// Operation name ("lock acquire", "barrier", …).
+        op: &'static str,
+        /// Application-chosen id of the primitive.
+        id: u32,
+        /// Total virtual time spent waiting.
+        waited: Ns,
+        /// Timeout rounds spent (each ends with a probe).
+        rounds: u32,
+    },
+    /// The transport's failure detector flagged the peer this operation
+    /// depends on as dead.
+    PeerDown {
+        /// Operation name.
+        op: &'static str,
+        /// Application-chosen id of the primitive.
+        id: u32,
+        /// The peer flagged down (manager or expected granter).
+        peer: NodeId,
+    },
+}
+
+impl fmt::Display for SyncError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SyncError::Timeout {
+                op,
+                id,
+                waited,
+                rounds,
+            } => write!(
+                f,
+                "{op} {id} timed out after {rounds} rounds ({waited} ns) with no reply"
+            ),
+            SyncError::PeerDown { op, id, peer } => {
+                write!(f, "{op} {id} abandoned: node {peer} is down")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SyncError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_tuning_is_inert() {
+        let t = SyncTuning::default();
+        assert_eq!(t.op_timeout, None);
+        assert!(t.max_rounds > 0);
+    }
+
+    #[test]
+    fn display_names_operation_and_peer() {
+        let e = SyncError::PeerDown {
+            op: "lock acquire",
+            id: 7,
+            peer: 2,
+        };
+        let s = e.to_string();
+        assert!(s.contains("lock acquire 7"));
+        assert!(s.contains("node 2 is down"));
+        let t = SyncError::Timeout {
+            op: "barrier",
+            id: 1,
+            waited: 5_000,
+            rounds: 8,
+        };
+        assert!(t.to_string().contains("timed out after 8 rounds"));
+    }
+}

@@ -31,6 +31,7 @@
 
 pub mod barrier;
 pub mod condvar;
+pub mod error;
 pub mod ids;
 pub mod lock;
 pub mod queue;
@@ -39,6 +40,7 @@ mod system;
 
 pub use barrier::BarrierSpec;
 pub use condvar::CondvarSpec;
+pub use error::{SyncError, SyncTuning};
 pub use lock::LockSpec;
 pub use queue::{QueueDiscipline, QueueMode, QueueSpec};
 pub use semaphore::SemSpec;

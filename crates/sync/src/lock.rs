@@ -18,6 +18,7 @@ use carlos_sim::NodeId;
 use carlos_util::codec::{Decoder, Encoder};
 
 use crate::{
+    error::SyncError,
     ids::{H_LOCK_ACQ, H_LOCK_GRANT, H_LOCK_PASS},
     system::SyncSystem,
 };
@@ -45,8 +46,8 @@ fn body(id: u32) -> Vec<u8> {
     e.finish_vec()
 }
 
-fn parse_id(b: &[u8]) -> u32 {
-    Decoder::new(b).get_u32().expect("lock body carries an id")
+fn parse_id(b: &[u8]) -> Option<u32> {
+    Decoder::new(b).get_u32().ok()
 }
 
 /// Env-gated protocol tracing (`LOCK_TRACE=1`).
@@ -63,7 +64,11 @@ pub(crate) fn register(rt: &mut Runtime, sys: &SyncSystem) {
     rt.register(
         H_LOCK_ACQ,
         Box::new(move |env, msg| {
-            let lock = parse_id(&msg.body);
+            let Some(lock) = parse_id(&msg.body) else {
+                env.count("sync.malformed", 1);
+                env.discard(msg);
+                return;
+            };
             let requester = msg.origin;
             let prev = s.with_tables(|t| t.lock_tails.insert(lock, requester));
             if lock_trace() {
@@ -98,7 +103,11 @@ pub(crate) fn register(rt: &mut Runtime, sys: &SyncSystem) {
     rt.register(
         H_LOCK_PASS,
         Box::new(move |env, msg| {
-            let lock = parse_id(&msg.body);
+            let Some(lock) = parse_id(&msg.body) else {
+                env.count("sync.malformed", 1);
+                env.discard(msg);
+                return;
+            };
             let requester = msg.origin;
             let grant_now = s.with_tables(|t| {
                 let st = t.locks.entry(lock).or_default();
@@ -135,7 +144,30 @@ pub(crate) fn register(rt: &mut Runtime, sys: &SyncSystem) {
 impl SyncSystem {
     /// Acquires `lock`, blocking until granted. Accepting the grant is the
     /// acquire event: memory becomes consistent with the previous holder.
+    ///
+    /// # Panics
+    ///
+    /// With timeouts enabled (see [`crate::SyncTuning`]), a timed-out or
+    /// peer-down acquire escalates through [`carlos_sim::abort`], naming
+    /// this node and the lock.
     pub fn acquire(&self, rt: &mut Runtime, lock: LockSpec) {
+        if let Err(e) = self.try_acquire(rt, lock) {
+            carlos_sim::abort(rt.node_id(), e.to_string());
+        }
+    }
+
+    /// Fallible [`SyncSystem::acquire`].
+    ///
+    /// A timeout round probes the manager but never re-sends the acquire
+    /// REQUEST: the manager's queue-tail protocol is not idempotent, and a
+    /// duplicate would enqueue this node behind itself.
+    ///
+    /// # Errors
+    ///
+    /// [`SyncError::PeerDown`] when the failure detector convicts the
+    /// manager, [`SyncError::Timeout`] after the round budget. Both leave
+    /// the acquire logically outstanding; the caller must not retry.
+    pub fn try_acquire(&self, rt: &mut Runtime, lock: LockSpec) -> Result<(), SyncError> {
         let reacquired = self.with_tables(|t| {
             let st = t.locks.entry(lock.id).or_default();
             assert!(!st.holding, "recursive acquire of lock {}", lock.id);
@@ -150,7 +182,7 @@ impl SyncSystem {
         });
         if reacquired {
             rt.ctx().count("lock.local_reacquires", 1);
-            return;
+            return Ok(());
         }
         rt.send(
             lock.manager,
@@ -158,16 +190,17 @@ impl SyncSystem {
             body(lock.id),
             Annotation::Request,
         );
-        let grant = rt.wait_accepted(H_LOCK_GRANT);
+        let grant = self.wait_sync(rt, &[H_LOCK_GRANT], "lock acquire", lock.id, &[lock.manager])?;
         assert_eq!(
             parse_id(&grant.body),
-            lock.id,
+            Some(lock.id),
             "grant for a different lock while one acquire is outstanding"
         );
         self.with_tables(|t| {
             t.locks.entry(lock.id).or_default().holding = true;
         });
         rt.ctx().count("lock.acquires", 1);
+        Ok(())
     }
 
     /// Releases `lock`. If a successor is queued it is granted with a

@@ -21,6 +21,7 @@ use carlos_sim::NodeId;
 use carlos_util::codec::{Decoder, Encoder};
 
 use crate::{
+    error::SyncError,
     ids::{H_Q_CLOSE, H_Q_DEQ, H_Q_EMPTY, H_Q_ENQ, H_Q_ITEM},
     system::SyncSystem,
 };
@@ -119,12 +120,12 @@ fn enq_body_flags(id: u32, flags: u8, item: &[u8]) -> Vec<u8> {
     e.finish_vec()
 }
 
-fn parse_enq(b: &[u8]) -> (u32, u8, Vec<u8>) {
+fn parse_enq(b: &[u8]) -> Option<(u32, u8, Vec<u8>)> {
     let mut d = Decoder::new(b);
-    let id = d.get_u32().expect("queue id");
-    let flags = d.get_u8().expect("queue flags");
-    let item = d.get_bytes().expect("queue item");
-    (id, flags, item)
+    let id = d.get_u32().ok()?;
+    let flags = d.get_u8().ok()?;
+    let item = d.get_bytes().ok()?;
+    Some((id, flags, item))
 }
 
 fn spec_flags(spec: &QueueSpec) -> u8 {
@@ -144,7 +145,11 @@ pub(crate) fn register(rt: &mut Runtime, sys: &SyncSystem) {
     rt.register(
         H_Q_ENQ,
         Box::new(move |env, msg| {
-            let (qid, flags, item) = parse_enq(&msg.body);
+            let Some((qid, flags, item)) = parse_enq(&msg.body) else {
+                env.count("sync.malformed", 1);
+                env.discard(msg);
+                return;
+            };
             let lifo = flags & 1 != 0;
             let accepting = flags & 2 != 0;
             // Is a consumer already parked?
@@ -189,8 +194,11 @@ pub(crate) fn register(rt: &mut Runtime, sys: &SyncSystem) {
         H_Q_DEQ,
         Box::new(move |env, msg| {
             let mut d = Decoder::new(&msg.body);
-            let qid = d.get_u32().expect("queue id");
-            let flags = d.get_u8().expect("queue flags");
+            let (Ok(qid), Ok(flags)) = (d.get_u32(), d.get_u8()) else {
+                env.count("sync.malformed", 1);
+                env.discard(msg);
+                return;
+            };
             let accepting = flags & 2 != 0;
             let requester = msg.origin;
             env.discard(msg);
@@ -233,7 +241,11 @@ pub(crate) fn register(rt: &mut Runtime, sys: &SyncSystem) {
         H_Q_CLOSE,
         Box::new(move |env, msg| {
             let mut d = Decoder::new(&msg.body);
-            let qid = d.get_u32().expect("queue id");
+            let Ok(qid) = d.get_u32() else {
+                env.count("sync.malformed", 1);
+                env.discard(msg);
+                return;
+            };
             env.discard(msg);
             let waiters = s.with_tables(|t| {
                 let q = t.queues.entry(qid).or_default();
@@ -263,7 +275,33 @@ impl SyncSystem {
 
     /// Dequeues an item, blocking while the queue is empty and open.
     /// Returns `None` once the queue has been closed and drained.
+    ///
+    /// # Panics
+    ///
+    /// With timeouts enabled (see [`crate::SyncTuning`]), a timed-out or
+    /// peer-down dequeue escalates through [`carlos_sim::abort`].
     pub fn dequeue(&self, rt: &mut Runtime, queue: QueueSpec) -> Option<Vec<u8>> {
+        match self.try_dequeue(rt, queue) {
+            Ok(item) => item,
+            Err(e) => carlos_sim::abort(rt.node_id(), e.to_string()),
+        }
+    }
+
+    /// Fallible [`SyncSystem::dequeue`]. Timeout rounds probe the manager
+    /// but never re-send the dequeue REQUEST (the manager would park this
+    /// node twice and hand a later item to a ghost request).
+    ///
+    /// # Errors
+    ///
+    /// [`SyncError::PeerDown`] when the failure detector convicts the
+    /// manager, [`SyncError::Timeout`] after the round budget. A timeout
+    /// while the queue is merely empty means the tuning's budget is shorter
+    /// than the producers' think time — size `max_rounds` accordingly.
+    pub fn try_dequeue(
+        &self,
+        rt: &mut Runtime,
+        queue: QueueSpec,
+    ) -> Result<Option<Vec<u8>>, SyncError> {
         rt.send(
             queue.manager,
             H_Q_DEQ,
@@ -271,13 +309,23 @@ impl SyncSystem {
             queue.deq_annotation,
         );
         rt.ctx().count("queue.dequeues", 1);
-        let m = rt.wait_accepted_any(&[crate::ids::H_Q_ITEM, crate::ids::H_Q_EMPTY]);
+        let m = self.wait_sync(
+            rt,
+            &[crate::ids::H_Q_ITEM, crate::ids::H_Q_EMPTY],
+            "queue dequeue",
+            queue.id,
+            &[queue.manager],
+        )?;
         if m.handler == crate::ids::H_Q_EMPTY {
-            return None;
+            return Ok(None);
         }
-        let (qid, _flags, item) = parse_enq(&m.body);
-        assert_eq!(qid, queue.id, "item from a different queue");
-        Some(item)
+        let parsed = parse_enq(&m.body);
+        assert_eq!(
+            parsed.as_ref().map(|(qid, _, _)| *qid),
+            Some(queue.id),
+            "item from a different queue"
+        );
+        Ok(parsed.map(|(_, _, item)| item))
     }
 
     /// Closes `queue`: parked and future dequeues return `None`.

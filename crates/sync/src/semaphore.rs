@@ -12,6 +12,7 @@ use carlos_sim::NodeId;
 use carlos_util::codec::{Decoder, Encoder};
 
 use crate::{
+    error::SyncError,
     ids::{H_SEM_GRANT, H_SEM_P, H_SEM_V},
     system::{SemState, SyncSystem},
 };
@@ -46,12 +47,9 @@ fn body(id: u32, initial: u64) -> Vec<u8> {
     e.finish_vec()
 }
 
-fn parse(b: &[u8]) -> (u32, u64) {
+fn parse(b: &[u8]) -> Option<(u32, u64)> {
     let mut d = Decoder::new(b);
-    (
-        d.get_u32().expect("sem id"),
-        d.get_u64().expect("sem initial"),
-    )
+    Some((d.get_u32().ok()?, d.get_u64().ok()?))
 }
 
 pub(crate) fn register(rt: &mut Runtime, sys: &SyncSystem) {
@@ -59,7 +57,11 @@ pub(crate) fn register(rt: &mut Runtime, sys: &SyncSystem) {
     rt.register(
         H_SEM_P,
         Box::new(move |env, msg| {
-            let (id, initial) = parse(&msg.body);
+            let Some((id, initial)) = parse(&msg.body) else {
+                env.count("sync.malformed", 1);
+                env.discard(msg);
+                return;
+            };
             let requester = msg.origin;
             env.discard(msg);
             enum Action {
@@ -97,7 +99,11 @@ pub(crate) fn register(rt: &mut Runtime, sys: &SyncSystem) {
     rt.register(
         H_SEM_V,
         Box::new(move |env, msg| {
-            let (id, initial) = parse(&msg.body);
+            let Some((id, initial)) = parse(&msg.body) else {
+                env.count("sync.malformed", 1);
+                env.discard(msg);
+                return;
+            };
             let waiter = s.with_tables(|t| {
                 let st = t.sems.entry(id).or_insert_with(|| SemState {
                     count: initial,
@@ -111,9 +117,16 @@ pub(crate) fn register(rt: &mut Runtime, sys: &SyncSystem) {
                 None => {
                     let tok = env.store(msg);
                     s.with_tables(|t| {
+                        // Entry-or-insert rather than a bare lookup: the
+                        // state does exist (created above), but re-deriving
+                        // it keeps this closure panic-free by construction.
                         t.sems
-                            .get_mut(&id)
-                            .expect("state created above")
+                            .entry(id)
+                            .or_insert_with(|| SemState {
+                                count: initial,
+                                stored_vs: Default::default(),
+                                waiters: Default::default(),
+                            })
                             .stored_vs
                             .push_back(tok);
                     });
@@ -128,17 +141,39 @@ impl SyncSystem {
     /// `P`: acquires one credit, blocking until available. Accepting the
     /// grant makes memory consistent with the matching `V`-er (or the
     /// manager, for initial credits).
+    ///
+    /// # Panics
+    ///
+    /// With timeouts enabled (see [`crate::SyncTuning`]), a timed-out or
+    /// peer-down `P` escalates through [`carlos_sim::abort`].
     pub fn sem_p(&self, rt: &mut Runtime, sem: SemSpec) {
+        if let Err(e) = self.try_sem_p(rt, sem) {
+            carlos_sim::abort(rt.node_id(), e.to_string());
+        }
+    }
+
+    /// Fallible [`SyncSystem::sem_p`]. Timeout rounds probe the manager
+    /// but never re-send the `P` REQUEST (it would double-debit).
+    ///
+    /// # Errors
+    ///
+    /// [`SyncError::PeerDown`] when the failure detector convicts the
+    /// manager, [`SyncError::Timeout`] after the round budget.
+    pub fn try_sem_p(&self, rt: &mut Runtime, sem: SemSpec) -> Result<(), SyncError> {
         rt.send(
             sem.manager,
             H_SEM_P,
             body(sem.id, sem.initial),
             Annotation::Request,
         );
-        let m = rt.wait_accepted(H_SEM_GRANT);
-        let (id, _) = parse(&m.body);
-        assert_eq!(id, sem.id, "grant for a different semaphore");
+        let m = self.wait_sync(rt, &[H_SEM_GRANT], "semaphore P", sem.id, &[sem.manager])?;
+        assert_eq!(
+            parse(&m.body).map(|(id, _)| id),
+            Some(sem.id),
+            "grant for a different semaphore"
+        );
         rt.ctx().count("sem.p", 1);
+        Ok(())
     }
 
     /// `V`: returns one credit. The RELEASE annotation carries this node's

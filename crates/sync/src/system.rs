@@ -6,8 +6,10 @@ use std::{
     sync::{Arc, Mutex},
 };
 
-use carlos_core::Runtime;
+use carlos_core::{AcceptedMsg, Runtime};
 use carlos_sim::NodeId;
+
+use crate::error::{SyncError, SyncTuning};
 
 /// Client- and manager-side state for one lock.
 #[derive(Debug, Default)]
@@ -67,6 +69,10 @@ pub(crate) struct Tables {
 #[derive(Clone)]
 pub struct SyncSystem {
     pub(crate) tables: Arc<Mutex<Tables>>,
+    /// Timeout behavior of this handle's blocking operations. Plain data:
+    /// each clone (the handlers hold their own) keeps its own copy, and
+    /// only the application-facing handle's copy matters.
+    tuning: SyncTuning,
 }
 
 impl SyncSystem {
@@ -75,6 +81,7 @@ impl SyncSystem {
     pub fn install(rt: &mut Runtime) -> Self {
         let sys = Self {
             tables: Arc::new(Mutex::new(Tables::default())),
+            tuning: SyncTuning::default(),
         };
         crate::lock::register(rt, &sys);
         crate::queue::register(rt, &sys);
@@ -84,8 +91,73 @@ impl SyncSystem {
         sys
     }
 
+    /// Replaces this handle's timeout tuning (builder style).
+    pub fn set_tuning(&mut self, tuning: SyncTuning) {
+        self.tuning = tuning;
+    }
+
+    /// This handle's timeout tuning.
+    #[must_use]
+    pub fn tuning(&self) -> SyncTuning {
+        self.tuning
+    }
+
     pub(crate) fn with_tables<R>(&self, f: impl FnOnce(&mut Tables) -> R) -> R {
-        let mut t = self.tables.lock().expect("sync tables poisoned");
+        // A poisoned mutex here means some *other* proc's unwind (teardown,
+        // scripted crash) happened mid-update on a structure we share. The
+        // tables hold only plain ids and queues — no invariant spans the
+        // poison — so recover the data instead of cascading the panic.
+        let mut t = self
+            .tables
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         f(&mut t)
+    }
+
+    /// Shared blocking-wait engine for the fallible coordination ops.
+    ///
+    /// With timeouts disabled (the default) this is exactly
+    /// [`Runtime::wait_accepted_any`]: no deadline events enter the run.
+    /// With a timeout, each quiet round probes `peers` (never re-sends the
+    /// original request — protocols here are not idempotent), gives up with
+    /// [`SyncError::PeerDown`] the moment the failure detector convicts a
+    /// peer, and with [`SyncError::Timeout`] after `max_rounds` rounds.
+    pub(crate) fn wait_sync(
+        &self,
+        rt: &mut Runtime,
+        handlers: &[u32],
+        op: &'static str,
+        id: u32,
+        peers: &[NodeId],
+    ) -> Result<AcceptedMsg, SyncError> {
+        let Some(timeout) = self.tuning.op_timeout else {
+            return Ok(rt.wait_accepted_any(handlers));
+        };
+        let mut rounds: u32 = 0;
+        loop {
+            let deadline = rt.ctx().now() + timeout;
+            if let Some(m) = rt.wait_accepted_any_until(handlers, deadline) {
+                return Ok(m);
+            }
+            rounds += 1;
+            rt.ctx().count("sync.timeouts", 1);
+            for &p in peers {
+                if rt.peer_down(p) {
+                    rt.ctx().count("sync.peer_down", 1);
+                    return Err(SyncError::PeerDown { op, id, peer: p });
+                }
+            }
+            if rounds >= self.tuning.max_rounds {
+                return Err(SyncError::Timeout {
+                    op,
+                    id,
+                    waited: timeout * u64::from(rounds),
+                    rounds,
+                });
+            }
+            for &p in peers {
+                rt.probe_peer(p);
+            }
+        }
     }
 }

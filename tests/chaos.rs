@@ -1,0 +1,216 @@
+//! Chaos suite: scripted faults against full application runs.
+//!
+//! Three claims are pinned here:
+//!
+//! 1. **Fault transparency** — under recoverable faults (burst loss,
+//!    partition-then-heal) the ARQ transport and the protocols above it
+//!    deliver *bit-identical application results* to a fault-free run.
+//!    Faults may cost virtual time, never correctness.
+//! 2. **Graceful failure** — unrecoverable faults (a fail-stop crash of a
+//!    node another node depends on) end the run with a structured
+//!    [`SimError`] naming the crashed node and the operation that gave up,
+//!    instead of a hang or an unattributed panic.
+//! 3. **Determinism** — the same seed and the same fault plan reproduce
+//!    the same simulation, byte for byte, faults included.
+
+use carlos::apps::{run_qsort, run_sor, run_tsp, QsortConfig, QsortVariant, SorConfig, TspConfig, TspVariant};
+use carlos::core::{CoreConfig, Runtime};
+use carlos::lrc::LrcConfig;
+use carlos::sim::time::ms;
+use carlos::sim::transport::AckMode;
+use carlos::sim::{Bucket, Cluster, FaultPlan, GeParams, SimConfig, SimError, SimReport};
+use carlos::sync::{BarrierSpec, SyncTuning};
+use std::fmt::Write as _;
+
+const ARQ: AckMode = AckMode::Arq {
+    window: 16,
+    rto: ms(5),
+};
+
+/// Serializes every determinism-relevant field of a report (the same shape
+/// as the golden tests use, plus the fault-drop accounting).
+fn fingerprint(r: &SimReport) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "elapsed={} events={}", r.elapsed, r.events_processed);
+    let _ = writeln!(
+        s,
+        "net messages={} payload_bytes={} dropped={} burst={} partition={} crash={} deferred={}",
+        r.net.messages,
+        r.net.payload_bytes,
+        r.net.dropped,
+        r.net.dropped_burst,
+        r.net.dropped_partition,
+        r.net.dropped_crash,
+        r.net.deferred_pause,
+    );
+    for (i, b) in r.node_buckets.iter().enumerate() {
+        let _ = write!(s, "node{i} buckets");
+        for bucket in Bucket::ALL {
+            let _ = write!(s, " {}={}", bucket.name(), b.get(bucket));
+        }
+        let _ = writeln!(s);
+        let _ = write!(s, "node{i} counters");
+        for (k, v) in r.node_counters[i].iter() {
+            let _ = write!(s, " {k}={v}");
+        }
+        let _ = writeln!(s);
+    }
+    s
+}
+
+fn chaos_tsp_config(plan: FaultPlan) -> TspConfig {
+    let mut cfg = TspConfig::test(2, TspVariant::Lock);
+    cfg.ack = ARQ;
+    cfg.sim = SimConfig::fast_test().with_fault_plan(plan);
+    cfg
+}
+
+#[test]
+fn tsp_result_identical_under_burst_loss() {
+    let clean = run_tsp(&chaos_tsp_config(FaultPlan::default()));
+    let plan = FaultPlan::new(0xC4A05).burst_loss(0, ms(60_000), GeParams::bursty(0.7));
+    let chaos = run_tsp(&chaos_tsp_config(plan));
+    assert!(
+        chaos.app.report.net.dropped_burst > 0,
+        "the burst window must actually bite"
+    );
+    assert_eq!(
+        chaos.best_len, clean.best_len,
+        "burst loss must never change the answer"
+    );
+}
+
+#[test]
+fn sor_checksum_identical_under_partition_then_heal() {
+    let mut clean_cfg = SorConfig::test(2);
+    clean_cfg.ack = ARQ;
+    clean_cfg.sim = SimConfig::fast_test();
+    let clean = run_sor(&clean_cfg);
+
+    let mut chaos_cfg = SorConfig::test(2);
+    chaos_cfg.ack = ARQ;
+    chaos_cfg.sim = SimConfig::fast_test()
+        .with_fault_plan(FaultPlan::new(11).partition(&[0], &[1], ms(1), ms(40)));
+    let chaos = run_sor(&chaos_cfg);
+
+    assert!(
+        chaos.app.report.net.dropped_partition > 0,
+        "the partition must actually bite"
+    );
+    assert_eq!(
+        chaos.checksum.to_bits(),
+        clean.checksum.to_bits(),
+        "a healed partition must leave the grid bit-identical"
+    );
+    assert_eq!(chaos.grid, clean.grid);
+}
+
+#[test]
+fn qsort_stays_correct_under_burst_loss() {
+    let mut cfg = QsortConfig::test(2, QsortVariant::Lock);
+    cfg.ack = ARQ;
+    cfg.sim = SimConfig::fast_test()
+        .with_fault_plan(FaultPlan::new(0x50B7).burst_loss(0, ms(60_000), GeParams::bursty(0.7)));
+    let r = run_qsort(&cfg);
+    assert!(
+        r.app.report.net.dropped_burst > 0,
+        "the burst window must actually bite"
+    );
+    assert!(r.sorted, "every node must still see a sorted array");
+    assert!(r.permutation_ok, "and the exact input permutation");
+}
+
+#[test]
+fn crash_with_timeouts_reports_attributed_error() {
+    // Node 1 crashes before ever reaching the barrier; node 0, armed with
+    // sync timeouts and the ARQ failure detector, must give up with an
+    // error naming both the operation and the casualty — not hang.
+    let plan = FaultPlan::new(5).crash(1, ms(2));
+    let mut c = Cluster::new(SimConfig::fast_test().with_fault_plan(plan), 2);
+    c.spawn_node(0, |ctx| {
+        let mut rt = Runtime::with_ack_mode(ctx, LrcConfig::small_test(2), CoreConfig::fast_test(), ARQ);
+        let mut sys = carlos::sync::install(&mut rt);
+        sys.set_tuning(SyncTuning::with_timeout(ms(20)));
+        sys.barrier(&mut rt, BarrierSpec::global(9, 0), 0);
+        unreachable!("the barrier cannot fall with node 1 dead");
+    });
+    c.spawn_node(1, |ctx| {
+        ctx.sleep(ms(100));
+    });
+    let err = c.try_run().expect_err("the run must fail, not hang");
+    assert_eq!(err.crashed_nodes(), vec![1], "the casualty must be named");
+    match &err {
+        SimError::Aborted { node, context, .. } => {
+            assert_eq!(*node, 0, "node 0 is the one that gave up");
+            assert!(
+                context.contains("barrier"),
+                "the context must name the operation, got: {context}"
+            );
+        }
+        other => panic!("expected an attributed abort, got: {other}"),
+    }
+}
+
+#[test]
+fn crash_without_timeouts_reports_stall_with_casualties() {
+    // Legacy configuration (no timeouts, implicit acks): the run cannot
+    // recover, but the stall report must still list who crashed and who
+    // was left waiting.
+    let plan = FaultPlan::new(5).crash(1, ms(2));
+    let mut c = Cluster::new(SimConfig::fast_test().with_fault_plan(plan), 2);
+    c.spawn_node(0, |ctx| {
+        let mut rt = Runtime::new(ctx, LrcConfig::small_test(2), CoreConfig::fast_test());
+        let sys = carlos::sync::install(&mut rt);
+        sys.barrier(&mut rt, BarrierSpec::global(9, 0), 0);
+        unreachable!("the barrier cannot fall with node 1 dead");
+    });
+    c.spawn_node(1, |ctx| {
+        ctx.sleep(ms(100));
+    });
+    let err = c.try_run().expect_err("the run must fail, not hang");
+    assert_eq!(err.crashed_nodes(), vec![1]);
+    match &err {
+        SimError::Stalled { blocked, .. } => {
+            assert!(
+                blocked.iter().any(|b| b.node == 0),
+                "node 0 must be listed as blocked, got: {blocked:?}"
+            );
+            assert!(err.to_string().contains("deadlock"));
+        }
+        other => panic!("expected a stall report, got: {other}"),
+    }
+}
+
+#[test]
+fn crashed_node_is_reported_even_when_the_run_completes() {
+    // Node 1 finishes its (empty) work before the crash fires; the run
+    // succeeds, but the report still records the casualty.
+    let plan = FaultPlan::new(5).crash(1, ms(50));
+    let mut c = Cluster::new(SimConfig::fast_test().with_fault_plan(plan), 2);
+    c.spawn_node(0, |ctx| {
+        ctx.sleep(ms(100));
+    });
+    c.spawn_node(1, |ctx| {
+        ctx.sleep(ms(100));
+    });
+    let rep = c.try_run().expect("only sleepers; the crash kills one");
+    assert_eq!(rep.crashed_nodes, vec![1]);
+}
+
+#[test]
+fn same_seed_and_plan_reproduce_the_same_simulation() {
+    let plan = || {
+        FaultPlan::new(0xD1CE)
+            .burst_loss(0, ms(60_000), GeParams::bursty(0.6))
+            .pause(1, ms(3), ms(6))
+    };
+    let a = run_tsp(&chaos_tsp_config(plan()));
+    let b = run_tsp(&chaos_tsp_config(plan()));
+    assert_eq!(
+        fingerprint(&a.app.report),
+        fingerprint(&b.app.report),
+        "chaos must be scripted, not random"
+    );
+    assert_eq!(a.best_len, b.best_len);
+    assert_eq!(a.expansions, b.expansions);
+}

@@ -30,6 +30,18 @@ fn fingerprint(r: &SimReport) -> String {
         "net messages={} payload_bytes={} dropped={}",
         r.net.messages, r.net.payload_bytes, r.net.dropped
     );
+    // Fault-drop accounting: only emitted when faults fired, so fault-free
+    // goldens are byte-identical to their pre-fault-subsystem values.
+    let faults = r.net.dropped_burst + r.net.dropped_partition + r.net.dropped_crash
+        + r.net.deferred_pause;
+    if faults > 0 {
+        let _ = writeln!(
+            s,
+            "net faults burst={} partition={} crash={} deferred={}",
+            r.net.dropped_burst, r.net.dropped_partition, r.net.dropped_crash,
+            r.net.deferred_pause
+        );
+    }
     for (i, b) in r.node_buckets.iter().enumerate() {
         let _ = write!(s, "node{i} buckets");
         for bucket in Bucket::ALL {
@@ -109,6 +121,52 @@ fn two_node_lossy_run() -> SimReport {
     cluster.run()
 }
 
+/// The lossy workload again, with a scripted fault plan layered on top of
+/// the uniform loss: a Gilbert–Elliott burst window and a node pause. Pins
+/// the fault subsystem's behavior — GE chain consumption, deferred
+/// deliveries, ARQ recovery — not just its absence.
+fn two_node_chaos_run() -> SimReport {
+    use carlos::sim::{FaultPlan, GeParams};
+    const N: usize = 2;
+    let plan = FaultPlan::new(0xC4A05)
+        .burst_loss(
+            0,
+            ms(60_000),
+            GeParams {
+                p_enter_bad: 0.30,
+                p_exit_bad: 0.25,
+                loss_good: 0.0,
+                loss_bad: 0.7,
+            },
+        )
+        .pause(1, us(20), ms(12));
+    let cfg = SimConfig::fast_test().with_loss(0.05, 77).with_fault_plan(plan);
+    let mut cluster = Cluster::new(cfg, N);
+    for node in 0..N as u32 {
+        cluster.spawn_node(node, move |ctx| {
+            let ack = AckMode::Arq {
+                window: 16,
+                rto: ms(5),
+            };
+            let mut rt =
+                Runtime::with_ack_mode(ctx, LrcConfig::small_test(N), CoreConfig::fast_test(), ack);
+            let sys = carlos::sync::install(&mut rt);
+            let lock = LockSpec::new(1, 0);
+            for _ in 0..6 {
+                sys.acquire(&mut rt, lock);
+                let v = rt.read_u32(0);
+                rt.write_u32(0, v + 1);
+                sys.release(&mut rt, lock);
+            }
+            sys.barrier(&mut rt, BarrierSpec::global(9, 0), 0);
+            assert_eq!(rt.read_u32(0), 12);
+            sys.barrier(&mut rt, BarrierSpec::global(9, 0), 1);
+            rt.shutdown();
+        });
+    }
+    cluster.run()
+}
+
 fn assert_matches_golden(actual: &SimReport, golden: &str, what: &str) {
     let fp = fingerprint(actual);
     assert_eq!(
@@ -136,6 +194,24 @@ node0 buckets User=0 Unix=26000 CarlOS=0 Idle=5019320
 node0 counters barrier.waits=2 carlos.accepted=3 carlos.diff_requests=1 carlos.discarded=2 carlos.forwarded=1 carlos.notices_applied=1 carlos.page_requests_served=1 carlos.sent=6 carlos.sent.release=4 carlos.sent.request=2 carlos.sent.system=2 lock.acquires=1 lock.local_reacquires=5 lock.releases=6 lrc.diffs_applied=1 lrc.diffs_created=1 lrc.intervals_created=1 lrc.notices_applied=1 lrc.pages_installed=0 lrc.records_resident=4 lrc.remote_faults=1 lrc.write_faults=1 net.loopback=3 net.sent=11 net.sent_bytes=412 transport.acks=5 transport.retransmits=1
 node1 buckets User=0 Unix=20000 CarlOS=0 Idle=5023280
 node1 counters barrier.waits=2 carlos.accepted=3 carlos.diff_requests_served=1 carlos.notices_applied=1 carlos.page_requests=1 carlos.sent=3 carlos.sent.release_nt=2 carlos.sent.request=1 carlos.sent.system=2 lock.acquires=1 lock.local_reacquires=5 lock.releases=6 lrc.diffs_applied=0 lrc.diffs_created=1 lrc.intervals_created=1 lrc.notices_applied=1 lrc.pages_installed=1 lrc.records_resident=3 lrc.remote_faults=1 lrc.write_faults=1 net.sent=10 net.sent_bytes=260 transport.acks=5";
+
+const GOLDEN_TWO_NODE_CHAOS: &str = "\
+elapsed=203708874 events=93
+net messages=43 payload_bytes=1575 dropped=19
+net faults burst=17 partition=0 crash=0 deferred=1
+node0 buckets User=0 Unix=45000 CarlOS=0 Idle=203663874
+node0 counters barrier.waits=2 carlos.accepted=3 carlos.diff_requests=1 carlos.discarded=2 carlos.forwarded=1 carlos.notices_applied=1 carlos.page_requests_served=1 carlos.sent=6 carlos.sent.release=4 carlos.sent.request=2 carlos.sent.system=2 lock.acquires=1 lock.local_reacquires=5 lock.releases=6 lrc.diffs_applied=1 lrc.diffs_created=1 lrc.intervals_created=1 lrc.notices_applied=1 lrc.pages_installed=0 lrc.records_resident=4 lrc.remote_faults=1 lrc.write_faults=1 net.loopback=3 net.sent=27 net.sent_bytes=961 transport.acks=8 transport.duplicates=3 transport.flush_abandoned=1 transport.flush_gave_up=1 transport.retransmits=14
+node1 buckets User=0 Unix=25000 CarlOS=0 Idle=43683914
+node1 counters barrier.waits=2 carlos.accepted=3 carlos.diff_requests_served=1 carlos.notices_applied=1 carlos.page_requests=1 carlos.sent=3 carlos.sent.release_nt=2 carlos.sent.request=1 carlos.sent.system=2 lock.acquires=1 lock.local_reacquires=5 lock.releases=6 lrc.diffs_applied=0 lrc.diffs_created=1 lrc.intervals_created=1 lrc.notices_applied=1 lrc.pages_installed=1 lrc.records_resident=3 lrc.remote_faults=1 lrc.write_faults=1 net.sent=16 net.sent_bytes=614 transport.acks=5 transport.retransmits=6";
+
+#[test]
+fn two_node_chaos_report_is_pinned() {
+    assert_matches_golden(
+        &two_node_chaos_run(),
+        GOLDEN_TWO_NODE_CHAOS,
+        "2-node chaos (burst loss + pause) workload",
+    );
+}
 
 #[test]
 fn two_node_report_is_pinned() {
