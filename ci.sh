@@ -12,13 +12,18 @@ cargo test --workspace -q
 
 echo "==> cargo clippy -D warnings (hot-path + hardened crates)"
 cargo clippy -p carlos-util -p carlos-sim -p carlos-lrc -p carlos-core \
-    -p carlos-sync -p carlos-bench -p bytes -p criterion -p proptest \
-    -p parking_lot --all-targets -- -D warnings
+    -p carlos-sync -p carlos-check -p carlos-bench -p bytes -p criterion \
+    -p proptest -p parking_lot --all-targets -- -D warnings
 
 echo "==> chaos profile (scripted faults + pinned fingerprints)"
 cargo test -q --test chaos
 cargo test -q --test determinism_golden
 cargo test -q -p carlos-sim --test transport
+
+echo "==> checker profile (consistency oracle over schedule sweeps)"
+cargo test -q -p carlos-check
+cargo test -q --test schedules
+cargo run --release -q --example explore
 
 echo "==> wallclock bench (quick mode) -> BENCH_hotpath.json"
 CARLOS_BENCH_QUICK=1 cargo bench -p carlos-bench --bench wallclock

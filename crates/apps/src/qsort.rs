@@ -84,6 +84,9 @@ pub struct QsortConfig {
     /// Transport acknowledgement mode (switch to [`AckMode::Arq`] to run
     /// under injected loss, e.g. in chaos tests).
     pub ack: AckMode,
+    /// Optional consistency oracle, installed on every node and attached
+    /// to the cluster wire (observer-only: virtual time is unaffected).
+    pub check: Option<carlos_check::Checker>,
 }
 
 impl QsortConfig {
@@ -103,6 +106,7 @@ impl QsortConfig {
             page_size: 8192,
             verify_all_nodes: false,
             ack: AckMode::Implicit,
+            check: None,
         }
     }
 
@@ -122,6 +126,7 @@ impl QsortConfig {
             page_size: 512,
             verify_all_nodes: true,
             ack: AckMode::Implicit,
+            check: None,
         }
     }
 }
@@ -179,6 +184,9 @@ fn layout(cfg: &QsortConfig) -> (Layout, usize) {
 pub fn run_qsort(cfg: &QsortConfig) -> QsortResult {
     let checks: Collector<(bool, bool)> = Collector::new();
     let mut cluster = Cluster::new(cfg.sim.clone(), cfg.n_nodes);
+    if let Some(check) = &cfg.check {
+        check.attach(&mut cluster);
+    }
     for node in 0..cfg.n_nodes as u32 {
         let cfg = cfg.clone();
         let checks = checks.clone();
@@ -206,6 +214,9 @@ fn qsort_node(cfg: &QsortConfig, ctx: carlos_sim::NodeCtx) -> (bool, bool) {
         ownership: PageOwnership::SingleOwner(0),
     };
     let mut rt = Runtime::with_ack_mode(ctx, lrc, cfg.core.clone(), cfg.ack);
+    if let Some(check) = &cfg.check {
+        check.install(&mut rt);
+    }
     let sys = carlos_sync::install(&mut rt);
     let barrier = BarrierSpec::global(900, 0);
     let node = rt.node_id();

@@ -47,6 +47,9 @@ pub struct SorConfig {
     /// Transport acknowledgement mode (switch to [`AckMode::Arq`] to run
     /// under injected loss, e.g. in chaos tests).
     pub ack: AckMode,
+    /// Optional consistency oracle, installed on every node and attached
+    /// to the cluster wire (observer-only: virtual time is unaffected).
+    pub check: Option<carlos_check::Checker>,
 }
 
 impl SorConfig {
@@ -66,6 +69,7 @@ impl SorConfig {
             core: CoreConfig::osdi94(),
             page_size: 8192,
             ack: AckMode::Implicit,
+            check: None,
         }
     }
 
@@ -82,6 +86,7 @@ impl SorConfig {
             core: CoreConfig::fast_test(),
             page_size: 256,
             ack: AckMode::Implicit,
+            check: None,
         }
     }
 }
@@ -148,6 +153,9 @@ fn initial_grid(rows: usize, cols: usize) -> Vec<f64> {
 pub fn run_sor(cfg: &SorConfig) -> SorResult {
     let out: Collector<Vec<f64>> = Collector::new();
     let mut cluster = Cluster::new(cfg.sim.clone(), cfg.n_nodes);
+    if let Some(check) = &cfg.check {
+        check.attach(&mut cluster);
+    }
     for node in 0..cfg.n_nodes as u32 {
         let cfg = cfg.clone();
         let out = out.clone();
@@ -193,6 +201,9 @@ fn sor_node(cfg: &SorConfig, ctx: carlos_sim::NodeCtx) -> Vec<f64> {
         ownership: PageOwnership::Banded,
     };
     let mut rt = Runtime::with_ack_mode(ctx, lrc, cfg.core.clone(), cfg.ack);
+    if let Some(check) = &cfg.check {
+        check.install(&mut rt);
+    }
     let sys = carlos_sync::install(&mut rt);
     let barrier = BarrierSpec::global(900, 0);
     let node = rt.node_id() as usize;
@@ -213,11 +224,28 @@ fn sor_node(cfg: &SorConfig, ctx: carlos_sim::NodeCtx) -> Vec<f64> {
     for _ in 0..cfg.iters {
         for color in 0..2usize {
             // Read the band plus its halo rows, compute locally, write the
-            // band's updated cells of this colour back.
+            // band's updated cells of this colour back. The band rows are
+            // ours alone, so one block read suffices; the two halo rows
+            // belong to neighbours that are concurrently updating their
+            // cells of this colour, so only the frozen opposite-colour
+            // cells the stencil actually reads may be touched.
             let lo = my.start - 1;
             let hi = my.end + 1;
             let mut halo = vec![0u8; (hi - lo) * cols * 8];
-            rt.read_bytes(cell(lo, 0), &mut halo);
+            if my.start < my.end {
+                let own = (my.start - lo) * cols * 8..(my.end - lo) * cols * 8;
+                rt.read_bytes(cell(my.start, 0), &mut halo[own]);
+            }
+            for r in [lo, my.end] {
+                let row = (r - lo) * cols * 8;
+                for c in 0..cols {
+                    if (r + c) % 2 != color {
+                        let mut v = [0u8; 8];
+                        rt.read_bytes(cell(r, c), &mut v);
+                        halo[row + c * 8..row + c * 8 + 8].copy_from_slice(&v);
+                    }
+                }
+            }
             let f = |r: usize, c: usize| -> f64 {
                 let off = ((r - lo) * cols + c) * 8;
                 f64::from_le_bytes(halo[off..off + 8].try_into().expect("cell"))

@@ -72,6 +72,9 @@ pub struct TspConfig {
     /// Transport acknowledgement mode (switch to [`AckMode::Arq`] to run
     /// under injected loss, e.g. in chaos tests).
     pub ack: AckMode,
+    /// Optional consistency oracle, installed on every node and attached
+    /// to the cluster wire (observer-only: virtual time is unaffected).
+    pub check: Option<carlos_check::Checker>,
 }
 
 impl TspConfig {
@@ -91,6 +94,7 @@ impl TspConfig {
             core: CoreConfig::osdi94(),
             page_size: 8192,
             ack: AckMode::Implicit,
+            check: None,
         }
     }
 
@@ -110,6 +114,7 @@ impl TspConfig {
             core: CoreConfig::fast_test(),
             page_size: 512,
             ack: AckMode::Implicit,
+            check: None,
         }
     }
 }
@@ -466,6 +471,9 @@ pub fn run_tsp(cfg: &TspConfig) -> TspResult {
     let best_c: Collector<u32> = Collector::new();
     let exp_c: Collector<u64> = Collector::new();
     let mut cluster = Cluster::new(cfg.sim.clone(), cfg.n_nodes);
+    if let Some(check) = &cfg.check {
+        check.attach(&mut cluster);
+    }
     for node in 0..cfg.n_nodes as u32 {
         let cfg = cfg.clone();
         let best_c = best_c.clone();
@@ -510,6 +518,12 @@ fn tsp_node(cfg: &TspConfig, ctx: carlos_sim::NodeCtx) -> (u32, u64) {
         ownership: PageOwnership::SingleOwner(0),
     };
     let mut rt = Runtime::with_ack_mode(ctx, lrc, cfg.core.clone(), cfg.ack);
+    if let Some(check) = &cfg.check {
+        check.install(&mut rt);
+        // Reads of the bound are deliberately unsynchronized — a benign
+        // single-word race the paper calls safe (§5.1). Tell the oracle.
+        check.allow_racy(lay.best, 4);
+    }
     let sys = carlos_sync::install(&mut rt);
     let barrier = BarrierSpec::global(900, 0);
     // Every node computes the instance locally (private data).

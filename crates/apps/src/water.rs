@@ -70,6 +70,9 @@ pub struct WaterConfig {
     /// Transport acknowledgement mode (switch to [`AckMode::Arq`] to run
     /// under injected loss, e.g. in chaos tests).
     pub ack: AckMode,
+    /// Optional consistency oracle, installed on every node and attached
+    /// to the cluster wire (observer-only: virtual time is unaffected).
+    pub check: Option<carlos_check::Checker>,
 }
 
 impl WaterConfig {
@@ -90,6 +93,7 @@ impl WaterConfig {
             page_size: 8192,
             collect_all_nodes: false,
             ack: AckMode::Implicit,
+            check: None,
         }
     }
 
@@ -110,6 +114,7 @@ impl WaterConfig {
             page_size: 512,
             collect_all_nodes: true,
             ack: AckMode::Implicit,
+            check: None,
         }
     }
 }
@@ -174,6 +179,9 @@ pub fn run_water(cfg: &WaterConfig) -> WaterResult {
     );
     let out: Collector<(Vec<[f64; 3]>, f64)> = Collector::new();
     let mut cluster = Cluster::new(cfg.sim.clone(), cfg.n_nodes);
+    if let Some(check) = &cfg.check {
+        check.attach(&mut cluster);
+    }
     for node in 0..cfg.n_nodes as u32 {
         let cfg = cfg.clone();
         let out = out.clone();
@@ -245,6 +253,9 @@ fn water_node(cfg: &WaterConfig, ctx: carlos_sim::NodeCtx) -> (Vec<[f64; 3]>, f6
         ownership: PageOwnership::SingleOwner(0),
     };
     let mut rt = Runtime::with_ack_mode(ctx, lrc, cfg.core.clone(), cfg.ack);
+    if let Some(check) = &cfg.check {
+        check.install(&mut rt);
+    }
     let sys = carlos_sync::install(&mut rt);
     let barrier = BarrierSpec::global(900, 0);
     let node = rt.node_id();

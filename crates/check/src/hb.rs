@@ -1,0 +1,222 @@
+//! Ground-truth happens-before tracking.
+//!
+//! The tracker mirrors every node's vector timestamp from the observed
+//! interval closes and record applications, independently re-deriving the
+//! causal order the protocol claims to maintain. Divergence between an
+//! engine's behavior and the mirror — a non-monotone close, an out-of-order
+//! apply, a record whose timestamp disagrees with the creator's, a release
+//! whose completeness verdict contradicts the mirrored coverage — is
+//! reported as an [`Violation`] of kind [`ViolationKind::HbOrder`].
+
+use std::collections::BTreeMap;
+
+use carlos_lrc::{IntervalRecord, Vc};
+use carlos_sim::{NodeId, Ns};
+
+use crate::{Violation, ViolationKind};
+
+/// Mirror of the cluster's causal state, fed by observer hooks.
+pub(crate) struct HbTracker {
+    /// `node_vt[n]` re-derives node `n`'s engine timestamp.
+    pub(crate) node_vt: Vec<Vc>,
+    /// Ground truth: the timestamp each `(creator, index)` interval was
+    /// created with, pinned at first sight and compared ever after.
+    records: BTreeMap<(u32, u32), Vc>,
+    /// Last `(sent_at, delivered_at)` seen per wire pair, for FIFO checks.
+    pair_fifo: BTreeMap<(NodeId, NodeId), (Ns, Ns)>,
+}
+
+impl HbTracker {
+    pub(crate) fn new(n_nodes: usize) -> Self {
+        Self {
+            node_vt: (0..n_nodes).map(|_| Vc::new(n_nodes)).collect(),
+            records: BTreeMap::new(),
+            pair_fifo: BTreeMap::new(),
+        }
+    }
+
+    fn hb_violation(node: u32, own_interval: u32, detail: String) -> (String, Violation) {
+        let key = format!("hb:{node}:{detail}");
+        (
+            key,
+            Violation {
+                kind: ViolationKind::HbOrder,
+                node,
+                interval: own_interval,
+                addr: 0,
+                detail,
+            },
+        )
+    }
+
+    /// `node` closed interval `rec` (its own creation).
+    pub(crate) fn on_interval_closed(
+        &mut self,
+        node: u32,
+        rec: &IntervalRecord,
+    ) -> Vec<(String, Violation)> {
+        let mut out = Vec::new();
+        let old = &self.node_vt[node as usize];
+        if rec.node != node {
+            out.push(Self::hb_violation(
+                node,
+                old.get(node),
+                format!("closed an interval attributed to node {}", rec.node),
+            ));
+        }
+        if rec.index != old.get(node) + 1 {
+            out.push(Self::hb_violation(
+                node,
+                old.get(node),
+                format!(
+                    "interval index {} is not the successor of {}",
+                    rec.index,
+                    old.get(node)
+                ),
+            ));
+        }
+        if rec.vc.get(node) != rec.index || !rec.vc.dominates(old) {
+            out.push(Self::hb_violation(
+                node,
+                old.get(node),
+                format!(
+                    "close timestamp {:?} regressed from mirrored {:?}",
+                    rec.vc, old
+                ),
+            ));
+        }
+        if let Some(prev) = self.records.get(&(rec.node, rec.index)) {
+            if *prev != rec.vc {
+                out.push(Self::hb_violation(
+                    node,
+                    old.get(node),
+                    format!(
+                        "interval ({}, {}) re-created with timestamp {:?} != {:?}",
+                        rec.node, rec.index, rec.vc, prev
+                    ),
+                ));
+            }
+        } else {
+            self.records.insert((rec.node, rec.index), rec.vc.clone());
+        }
+        self.node_vt[node as usize] = rec.vc.clone();
+        out
+    }
+
+    /// `node` applied the remote record `rec` (an acquire step).
+    pub(crate) fn on_record_applied(
+        &mut self,
+        node: u32,
+        rec: &IntervalRecord,
+    ) -> Vec<(String, Violation)> {
+        let mut out = Vec::new();
+        let own = self.node_vt[node as usize].get(node);
+        if rec.node == node {
+            out.push(Self::hb_violation(
+                node,
+                own,
+                format!("applied its own interval {} as remote", rec.index),
+            ));
+            return out;
+        }
+        let have = self.node_vt[node as usize].get(rec.node);
+        if rec.index != have + 1 {
+            out.push(Self::hb_violation(
+                node,
+                own,
+                format!(
+                    "applied interval ({}, {}) out of order (mirror has {})",
+                    rec.node, rec.index, have
+                ),
+            ));
+        }
+        match self.records.get(&(rec.node, rec.index)) {
+            Some(truth) if *truth != rec.vc => {
+                out.push(Self::hb_violation(
+                    node,
+                    own,
+                    format!(
+                        "record ({}, {}) carries timestamp {:?}, creator made {:?}",
+                        rec.node, rec.index, rec.vc, truth
+                    ),
+                ));
+            }
+            Some(_) => {}
+            None => {
+                // Creator unobserved (checker installed on a subset): adopt
+                // the first sighting as ground truth.
+                self.records.insert((rec.node, rec.index), rec.vc.clone());
+            }
+        }
+        self.node_vt[node as usize].set(rec.node, rec.index.max(have));
+        out
+    }
+
+    /// `node` sent a release with the given required timestamp.
+    pub(crate) fn on_release_sent(
+        &self,
+        node: NodeId,
+        required: &Vc,
+    ) -> Vec<(String, Violation)> {
+        let mirror = &self.node_vt[node as usize];
+        if mirror != required {
+            vec![Self::hb_violation(
+                node,
+                mirror.get(node),
+                format!(
+                    "release requires {required:?} but mirrored state is {mirror:?}"
+                ),
+            )]
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// `node` finished the acquire side of a release originated elsewhere.
+    pub(crate) fn on_release_accepted(
+        &self,
+        node: NodeId,
+        required: &Vc,
+        complete: bool,
+    ) -> Vec<(String, Violation)> {
+        let mirror = &self.node_vt[node as usize];
+        if mirror.dominates(required) != complete {
+            vec![Self::hb_violation(
+                node,
+                mirror.get(node),
+                format!(
+                    "accept completeness {complete} contradicts mirror {mirror:?} \
+                     vs required {required:?}"
+                ),
+            )]
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// A wire frame landed; verify per-pair FIFO delivery.
+    pub(crate) fn on_frame(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        sent_at: Ns,
+        delivered_at: Ns,
+    ) -> Vec<(String, Violation)> {
+        let mut out = Vec::new();
+        let e = self.pair_fifo.entry((src, dst)).or_insert((0, 0));
+        if sent_at < e.0 || delivered_at < e.1 {
+            out.push(Self::hb_violation(
+                dst,
+                0,
+                format!(
+                    "pair {src}->{dst} delivery reordered: sent {sent_at} (last {}), \
+                     delivered {delivered_at} (last {})",
+                    e.0, e.1
+                ),
+            ));
+        }
+        e.0 = e.0.max(sent_at);
+        e.1 = e.1.max(delivered_at);
+        out
+    }
+}

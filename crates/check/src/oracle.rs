@@ -1,0 +1,260 @@
+//! Shadow-memory consistency oracle.
+//!
+//! The oracle keeps a per-word (4-byte) history of writes, each tagged with
+//! the writer's node, the interval the write belongs to, and the vector
+//! timestamp of that interval. From this history it decides, for every
+//! observed read, which write the reader is *entitled* to see under lazy
+//! release consistency, and flags:
+//!
+//! - **write/write races** — two writes to the same word from different
+//!   nodes whose intervals are concurrent (no release/acquire chain orders
+//!   them);
+//! - **read/write races** — a read of a word for which some other node's
+//!   write is not covered by the reader's timestamp (the write neither
+//!   happened-before the read nor after it);
+//! - **stale reads** — the word is data-race-free, a unique most-recent
+//!   covered write exists, and the value returned differs from it (a
+//!   protocol bug: an established acquire failed to invalidate or a diff
+//!   was lost);
+//! - **unknown values** — a nonzero value read from a word no observed
+//!   write ever produced (shared regions are zero-initialized).
+//!
+//! A write at node `p` whose engine timestamp is `vt` belongs to the still
+//! open interval `vt[p] + 1`; its timestamp is `vt` with the own component
+//! bumped. A read at node `r` with timestamp `vt_r` covers a write `(p, i)`
+//! iff `p == r` (program order) or `vt_r[p] >= i` (the interval record was
+//! applied before the read). Because the simulator serializes observation
+//! in virtual-time order and messages take nonzero time, a write observed
+//! *after* a read can never happen-before it — so coverage alone decides
+//! the race verdict.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use carlos_lrc::Vc;
+
+use crate::{Violation, ViolationKind};
+
+/// One recorded write to a word.
+struct WriteRec {
+    node: u32,
+    interval: u32,
+    vc: Vc,
+    /// The 4 bytes the word held after this write, if the write covered the
+    /// word entirely; `None` for partial (sub-word) writes.
+    value: Option<[u8; 4]>,
+}
+
+/// Per-word write history plus the racy-by-design allowlist.
+pub(crate) struct Oracle {
+    n_nodes: usize,
+    words: HashMap<usize, Vec<WriteRec>>,
+    allow: BTreeSet<usize>,
+}
+
+impl Oracle {
+    pub(crate) fn new(n_nodes: usize) -> Self {
+        Self {
+            n_nodes,
+            words: HashMap::new(),
+            allow: BTreeSet::new(),
+        }
+    }
+
+    /// Exempt every word overlapping `[addr, addr + len)` from read-side
+    /// checks (read/write race, stale, unknown). Write/write races on these
+    /// words are still reported.
+    pub(crate) fn allow_racy(&mut self, addr: usize, len: usize) {
+        if len == 0 {
+            return;
+        }
+        for w in addr / 4..=(addr + len - 1) / 4 {
+            self.allow.insert(w);
+        }
+    }
+
+    /// Record a write and check it against the existing history.
+    pub(crate) fn on_write(
+        &mut self,
+        node: u32,
+        addr: usize,
+        data: &[u8],
+        vt: &Vc,
+        node_vt: &[Vc],
+    ) -> Vec<(String, Violation)> {
+        if data.is_empty() {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        let interval = vt.get(node) + 1;
+        let mut vc_w = vt.clone();
+        vc_w.bump(node);
+        // Pruning floor: every interval of `node` at or below `cover` has
+        // been applied by the whole cluster, so only the newest such entry
+        // can still be the legal value for any reader.
+        let cover = (0..self.n_nodes)
+            .map(|q| node_vt[q].get(node))
+            .min()
+            .unwrap_or(0);
+        for w in addr / 4..=(addr + data.len() - 1) / 4 {
+            let ws = w * 4;
+            let value: Option<[u8; 4]> = if addr <= ws && ws + 4 <= addr + data.len() {
+                Some(data[ws - addr..ws - addr + 4].try_into().unwrap())
+            } else {
+                None
+            };
+            let entries = self.words.entry(w).or_default();
+            for e in entries.iter() {
+                if e.node != node && vc_w.get(e.node) < e.interval {
+                    out.push((
+                        format!("ww:{w}:{}:{}:{node}:{interval}", e.node, e.interval),
+                        Violation {
+                            kind: ViolationKind::WriteWriteRace,
+                            node,
+                            interval,
+                            addr: ws,
+                            detail: format!(
+                                "concurrent with write by node {} interval {}",
+                                e.node, e.interval
+                            ),
+                        },
+                    ));
+                }
+            }
+            if let Some(e) = entries
+                .iter_mut()
+                .find(|e| e.node == node && e.interval == interval)
+            {
+                // Later write in the same interval: last value wins; a
+                // partial overwrite makes the word's final bytes unknown.
+                e.value = value;
+            } else {
+                entries.push(WriteRec {
+                    node,
+                    interval,
+                    vc: vc_w.clone(),
+                    value,
+                });
+                if cover > 0 {
+                    if let Some(base) = entries
+                        .iter()
+                        .filter(|e| e.node == node && e.interval <= cover)
+                        .map(|e| e.interval)
+                        .max()
+                    {
+                        entries.retain(|e| e.node != node || e.interval >= base);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Check a read's race status and, where the word is race-free, the
+    /// legality of the returned value.
+    pub(crate) fn on_read(
+        &self,
+        node: u32,
+        addr: usize,
+        data: &[u8],
+        vt: &Vc,
+    ) -> Vec<(String, Violation)> {
+        if data.is_empty() {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        let interval = vt.get(node) + 1;
+        for w in addr / 4..=(addr + data.len() - 1) / 4 {
+            if self.allow.contains(&w) {
+                continue;
+            }
+            let ws = w * 4;
+            // Value checks apply only to words the read covers entirely.
+            let got: Option<&[u8]> = if addr <= ws && ws + 4 <= addr + data.len() {
+                Some(&data[ws - addr..ws - addr + 4])
+            } else {
+                None
+            };
+            let Some(entries) = self.words.get(&w) else {
+                if let Some(g) = got {
+                    if g != [0u8; 4] {
+                        out.push((
+                            format!("unk:{w}:{node}"),
+                            Violation {
+                                kind: ViolationKind::UnknownValue,
+                                node,
+                                interval,
+                                addr: ws,
+                                detail: format!(
+                                    "read {g:02x?} from a word never written \
+                                     (shared memory is zero-initialized)"
+                                ),
+                            },
+                        ));
+                    }
+                }
+                continue;
+            };
+            if let Some(e) = entries
+                .iter()
+                .find(|e| e.node != node && vt.get(e.node) < e.interval)
+            {
+                out.push((
+                    format!("rw:{w}:{}:{}:{node}", e.node, e.interval),
+                    Violation {
+                        kind: ViolationKind::ReadWriteRace,
+                        node,
+                        interval,
+                        addr: ws,
+                        detail: format!(
+                            "read races with uncovered write by node {} interval {}",
+                            e.node, e.interval
+                        ),
+                    },
+                ));
+                continue; // racy word: any value is excused
+            }
+            let Some(g) = got else { continue };
+            // All writes to this word are covered. The legal value is the
+            // unique maximal write under happened-before, if one exists.
+            let mut latest: BTreeMap<u32, &WriteRec> = BTreeMap::new();
+            for e in entries {
+                let cur = latest.entry(e.node).or_insert(e);
+                if e.interval > cur.interval {
+                    *cur = e;
+                }
+            }
+            let maximal: Vec<&&WriteRec> = latest
+                .values()
+                .filter(|a| {
+                    !latest
+                        .values()
+                        .any(|b| b.node != a.node && b.vc.get(a.node) >= a.interval)
+                })
+                .collect();
+            if maximal.len() == 1 {
+                if let Some(v) = maximal[0].value {
+                    if g != v {
+                        out.push((
+                            format!("stale:{w}:{node}"),
+                            Violation {
+                                kind: ViolationKind::StaleRead,
+                                node,
+                                interval,
+                                addr: ws,
+                                detail: format!(
+                                    "read {g:02x?} but the covering write by node {} \
+                                     interval {} stored {v:02x?}",
+                                    maximal[0].node, maximal[0].interval
+                                ),
+                            },
+                        ));
+                    }
+                }
+            }
+            // Multiple maximal covered writes means the writes themselves
+            // raced; that was reported at write time, so any of their
+            // values is accepted here.
+        }
+        out
+    }
+}

@@ -44,6 +44,7 @@ pub mod config;
 pub mod heap;
 pub mod message;
 pub mod multithread;
+pub mod probe;
 pub mod runtime;
 
 pub use annotation::Annotation;
@@ -51,4 +52,5 @@ pub use config::{CoreConfig, Strategy};
 pub use heap::CoherentHeap;
 pub use message::{AcceptedMsg, Consistency, Message};
 pub use multithread::{SharedRuntime, ThreadEvent, Worker};
+pub use probe::CoreProbe;
 pub use runtime::{Env, Runtime};

@@ -1,0 +1,37 @@
+//! Passive runtime observation hooks for external consistency checkers.
+//!
+//! A [`CoreProbe`] sees the runtime's release/acquire protocol events —
+//! releases sent, releases accepted (complete or pending on repair), and
+//! repair requests — without influencing them. Like the engine-level
+//! [`carlos_lrc::EngineObserver`], probing is off by default and charges no
+//! simulated time, so probed runs are bit-identical to unprobed ones.
+
+use carlos_lrc::Vc;
+use carlos_sim::NodeId;
+
+/// Receiver of runtime protocol notifications.
+///
+/// All methods default to no-ops. Implementations run synchronously on the
+/// observed node's proc thread; they may record state (and may panic or
+/// abort to escalate a violation) but must not call back into the runtime.
+pub trait CoreProbe: Send + Sync {
+    /// `node` sent a RELEASE (or RELEASE_NT) to `dst` whose required
+    /// timestamp is `required` (the sender's timestamp after closing the
+    /// release interval).
+    fn release_sent(&self, node: NodeId, dst: NodeId, required: &Vc) {
+        let _ = (node, dst, required);
+    }
+
+    /// `node` ran the acquire side for a RELEASE originated by `origin`.
+    /// `complete` is false when the carried records left a causal gap and
+    /// the accept is parked pending repair.
+    fn release_accepted(&self, node: NodeId, origin: NodeId, required: &Vc, complete: bool) {
+        let _ = (node, origin, required, complete);
+    }
+
+    /// `node` asked `origin` for the interval records between its own
+    /// timestamp `have` and the unmet `want` (the SYS_IVAL_REQ repair).
+    fn repair_requested(&self, node: NodeId, origin: NodeId, have: &Vc, want: &Vc) {
+        let _ = (node, origin, have, want);
+    }
+}

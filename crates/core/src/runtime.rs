@@ -27,6 +27,7 @@ use crate::{
     annotation::Annotation,
     config::CoreConfig,
     message::{AcceptedMsg, Consistency, Message},
+    probe::CoreProbe,
 };
 
 /// First handler id reserved for the system protocol; user handlers must
@@ -85,6 +86,9 @@ struct Core {
     /// `(page, node)` pairs whose page-instead-of-diffs substitution was
     /// rejected as stale; retries demand plain diffs to guarantee progress.
     force_diffs: BTreeSet<(u32, NodeId)>,
+    /// Passive protocol-event probe (checker instrumentation); `None` by
+    /// default, and never charged for.
+    probe: Option<std::sync::Arc<dyn CoreProbe>>,
 }
 
 impl Core {
@@ -145,6 +149,9 @@ impl Core {
                 // Sending a RELEASE is a release event: close the interval.
                 self.engine.close_interval();
                 let required = self.engine.vt().clone();
+                if let Some(p) = &self.probe {
+                    p.release_sent(node, dst, &required);
+                }
                 let have = &self.known[dst as usize];
                 let records = if annotation == Annotation::Release {
                     self.engine.records_newer_than(have)
@@ -240,6 +247,9 @@ impl Core {
                 // missing, and diffs must not apply against a notice set
                 // that is not transitively closed.
                 let complete = self.engine.vt().dominates(required);
+                if let Some(p) = &self.probe {
+                    p.release_accepted(self.ctx.node_id(), origin, required, complete);
+                }
                 if !diffs.is_empty() {
                     // Update strategy: the carried diffs revalidate pages
                     // whose coverage they complete. They go through the
@@ -267,6 +277,9 @@ impl Core {
                     // Inadequate consistency information (forwarded or
                     // non-transitive message): ask the original sender.
                     self.ctx.count("carlos.repair_requests", 1);
+                    if let Some(p) = &self.probe {
+                        p.repair_requested(self.ctx.node_id(), origin, self.engine.vt(), required);
+                    }
                     let mut body = Encoder::new();
                     self.engine.vt().encode(&mut body);
                     required.encode(&mut body);
@@ -485,6 +498,14 @@ impl Core {
                     p.required,
                     self.engine.vt()
                 );
+                if let Some(probe) = &self.probe {
+                    probe.repair_requested(
+                        self.ctx.node_id(),
+                        p.msg.origin,
+                        self.engine.vt(),
+                        &p.required,
+                    );
+                }
                 let mut body = Encoder::new();
                 self.engine.vt().encode(&mut body);
                 p.required.encode(&mut body);
@@ -731,9 +752,22 @@ impl Runtime {
                 inflight: BTreeSet::new(),
                 pending_diffs: BTreeMap::new(),
                 force_diffs: BTreeSet::new(),
+                probe: None,
             },
             handlers: HashMap::new(),
         }
+    }
+
+    /// Installs a passive [`CoreProbe`] notified of release/acquire/repair
+    /// protocol events. Probing never alters runtime behavior.
+    pub fn set_probe(&mut self, probe: std::sync::Arc<dyn CoreProbe>) {
+        self.core.probe = Some(probe);
+    }
+
+    /// Installs a passive [`carlos_lrc::EngineObserver`] on the underlying
+    /// LRC engine (memory accesses, interval closes, record application).
+    pub fn set_engine_observer(&mut self, obs: std::sync::Arc<dyn carlos_lrc::EngineObserver>) {
+        self.core.engine.set_observer(obs);
     }
 
     /// This node's id.

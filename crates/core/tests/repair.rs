@@ -1,0 +1,168 @@
+//! The RELEASE gap-repair path: interval records arriving out of causal
+//! order must be detected (required timestamp not covered), repaired via
+//! SYS_IVAL_REQ from the sender, and applied in causal order before the
+//! message is delivered to user level.
+
+use carlos_core::{Annotation, CoreConfig, Runtime};
+use carlos_lrc::LrcConfig;
+use carlos_sim::{Cluster, SimConfig};
+
+const H_GO: u32 = 1;
+const H_DONE: u32 = 2;
+
+fn mk_runtime(ctx: carlos_sim::NodeCtx, n: usize) -> Runtime {
+    Runtime::new(ctx, LrcConfig::small_test(n), CoreConfig::fast_test())
+}
+
+/// Node 1's NT release to node 2 carries only node 1's own records, yet its
+/// required timestamp names TWO intervals of node 0 that node 2 has never
+/// seen. Node 2 must detect the gap, fetch both records from node 1, apply
+/// them in index order, and only then deliver the message.
+#[test]
+fn nt_gap_with_multiple_missing_records_is_repaired() {
+    let mut c = Cluster::new(SimConfig::fast_test(), 3);
+    c.spawn_node(0, |ctx| {
+        let mut rt = mk_runtime(ctx, 3);
+        // Two separate intervals: write / release, write / release.
+        rt.write_u32(0, 10);
+        rt.send(1, H_GO, vec![], Annotation::Release);
+        rt.write_u32(4, 11);
+        rt.send(1, H_GO, vec![], Annotation::Release);
+        let _ = rt.wait_accepted(H_DONE);
+        rt.shutdown();
+    });
+    c.spawn_node(1, |ctx| {
+        let mut rt = mk_runtime(ctx, 3);
+        let _ = rt.wait_accepted(H_GO);
+        let _ = rt.wait_accepted(H_GO);
+        assert_eq!(rt.vt().get(0), 2, "both releases accepted");
+        rt.write_u32(64, 20);
+        // Non-transitive: ships only node 1's records; node 0's two
+        // intervals arrive at node 2 as a hole in the required timestamp.
+        rt.send(2, H_GO, vec![], Annotation::ReleaseNt);
+        let _ = rt.wait_accepted(H_DONE);
+        rt.shutdown();
+    });
+    c.spawn_node(2, |ctx| {
+        let mut rt = mk_runtime(ctx, 3);
+        let _ = rt.wait_accepted(H_GO);
+        // Acceptance implies the gap was repaired: the timestamp covers
+        // node 0's intervals even though node 0 never messaged us.
+        assert_eq!(rt.vt().get(0), 2, "repair must deliver node 0's records");
+        assert_eq!(rt.vt().get(1), 1);
+        assert_eq!(rt.read_u32(0), 10);
+        assert_eq!(rt.read_u32(4), 11);
+        assert_eq!(rt.read_u32(64), 20);
+        rt.send(0, H_DONE, vec![], Annotation::None);
+        rt.send(1, H_DONE, vec![], Annotation::None);
+        rt.shutdown();
+    });
+    let r = c.run();
+    assert!(
+        r.node_counters[2].get("carlos.repair_requests") >= 1,
+        "node 2 must have requested a repair"
+    );
+    assert!(
+        r.node_counters[1].get("carlos.repair_served") >= 1,
+        "node 1 must have served the repair"
+    );
+    assert_eq!(
+        r.node_counters[0].get("carlos.repair_served"),
+        0,
+        "repair is served by the NT sender, not the records' creator"
+    );
+}
+
+/// A chain of NT releases (0 -> 1 -> 2 -> 3 with a write at every hop):
+/// each hop's acceptor is missing the upstream history and must repair
+/// from its direct sender, re-establishing transitivity hop by hop.
+#[test]
+fn nt_chain_repairs_transitively_hop_by_hop() {
+    const N: usize = 4;
+    let mut c = Cluster::new(SimConfig::fast_test(), N);
+    c.spawn_node(0, |ctx| {
+        let mut rt = mk_runtime(ctx, N);
+        rt.write_u32(0, 100);
+        rt.send(1, H_GO, vec![], Annotation::ReleaseNt);
+        let _ = rt.wait_accepted(H_DONE);
+        rt.shutdown();
+    });
+    for node in 1..N as u32 - 1 {
+        c.spawn_node(node, move |ctx| {
+            let mut rt = mk_runtime(ctx, N);
+            let _ = rt.wait_accepted(H_GO);
+            rt.write_u32(node as usize * 64, 100 + node);
+            rt.send(node + 1, H_GO, vec![], Annotation::ReleaseNt);
+            let _ = rt.wait_accepted(H_DONE);
+            rt.shutdown();
+        });
+    }
+    c.spawn_node(N as u32 - 1, move |ctx| {
+        let mut rt = mk_runtime(ctx, N);
+        let _ = rt.wait_accepted(H_GO);
+        // The whole upstream chain must be visible.
+        for peer in 0..N as u32 - 1 {
+            assert_eq!(
+                rt.read_u32(peer as usize * 64),
+                100 + peer,
+                "missing write from hop {peer}"
+            );
+        }
+        for peer in 0..N as u32 - 1 {
+            rt.send(peer, H_DONE, vec![], Annotation::None);
+        }
+        rt.shutdown();
+    });
+    let r = c.run();
+    // Hop 0 -> 1 is complete by construction (node 0 has no foreign
+    // history); hops into 2 and 3 both repair.
+    assert_eq!(r.node_counters[1].get("carlos.repair_requests"), 0);
+    assert!(r.node_counters[2].get("carlos.repair_requests") >= 1);
+    assert!(r.node_counters[3].get("carlos.repair_requests") >= 1);
+    assert!(r.node_counters[1].get("carlos.repair_served") >= 1);
+    assert!(r.node_counters[2].get("carlos.repair_served") >= 1);
+}
+
+/// Records already covered are not re-requested: a second NT release from
+/// the same sender repairs only the new hole, and an ordinary RELEASE
+/// following the repaired NT needs no repair at all.
+#[test]
+fn repair_fetches_only_the_missing_suffix() {
+    let mut c = Cluster::new(SimConfig::fast_test(), 3);
+    c.spawn_node(0, |ctx| {
+        let mut rt = mk_runtime(ctx, 3);
+        rt.write_u32(0, 1);
+        rt.send(1, H_GO, vec![], Annotation::Release);
+        let _ = rt.wait_accepted(H_GO); // node 1 signals round 2
+        rt.write_u32(4, 2);
+        rt.send(1, H_GO, vec![], Annotation::Release);
+        let _ = rt.wait_accepted(H_DONE);
+        rt.shutdown();
+    });
+    c.spawn_node(1, |ctx| {
+        let mut rt = mk_runtime(ctx, 3);
+        let _ = rt.wait_accepted(H_GO);
+        rt.send(2, H_GO, vec![], Annotation::ReleaseNt); // gap: (0,1)
+        rt.send(0, H_GO, vec![], Annotation::Request);
+        let _ = rt.wait_accepted(H_GO);
+        rt.send(2, H_GO, vec![], Annotation::ReleaseNt); // gap: only (0,2)
+        let _ = rt.wait_accepted(H_DONE);
+        rt.shutdown();
+    });
+    c.spawn_node(2, |ctx| {
+        let mut rt = mk_runtime(ctx, 3);
+        let _ = rt.wait_accepted(H_GO);
+        let vt_after_first = rt.vt().get(0);
+        assert_eq!(vt_after_first, 1, "first NT repaired (0,1)");
+        let _ = rt.wait_accepted(H_GO);
+        assert_eq!(rt.vt().get(0), 2, "second NT repaired only (0,2)");
+        assert_eq!(rt.read_u32(0), 1);
+        assert_eq!(rt.read_u32(4), 2);
+        rt.send(0, H_DONE, vec![], Annotation::None);
+        rt.send(1, H_DONE, vec![], Annotation::None);
+        rt.shutdown();
+    });
+    let r = c.run();
+    assert!(r.node_counters[2].get("carlos.repair_requests") >= 2);
+    assert!(r.node_counters[1].get("carlos.repair_served") >= 2);
+}

@@ -29,6 +29,7 @@ use crate::{
     config::LrcConfig,
     diff::{sort_causally, Diff, DiffRecord},
     interval::{IntervalRecord, IntervalStore},
+    observer::{EngineObserver, ObserverSlot},
     page::{PageId, PageMeta, PageState},
     vc::Vc,
 };
@@ -99,6 +100,8 @@ pub struct LrcEngine {
     page_shift: Option<u32>,
     /// Reusable run-boundary buffer for [`Diff::create_with_scratch`].
     diff_scratch: Vec<(u32, u32)>,
+    /// Passive checker hooks; empty (one-branch cost) unless installed.
+    observer: ObserverSlot,
     stats: EngineStats,
 }
 
@@ -169,9 +172,17 @@ impl LrcEngine {
                 .is_power_of_two()
                 .then(|| cfg.page_size.trailing_zeros()),
             diff_scratch: Vec::new(),
+            observer: ObserverSlot::default(),
             stats: EngineStats::default(),
             cfg,
         }
+    }
+
+    /// Installs a passive [`EngineObserver`] notified of memory accesses,
+    /// interval closes, record application, and page installs. Observation
+    /// never alters engine behavior.
+    pub fn set_observer(&mut self, obs: std::sync::Arc<dyn EngineObserver>) {
+        self.observer.set(obs);
     }
 
     /// The node that pins a copy of `page` and answers full-page requests.
@@ -245,6 +256,7 @@ impl LrcEngine {
                 if matches!(meta.state, PageState::ReadOnly | PageState::ReadWrite) {
                     let off = addr & (self.cfg.page_size - 1);
                     buf.copy_from_slice(&meta.data[off..off + buf.len()]);
+                    self.observer.mem_read(self.node, addr, buf, &self.vt);
                     return Ok(());
                 }
             }
@@ -271,6 +283,7 @@ impl LrcEngine {
             buf[done..done + n].copy_from_slice(&data[off..off + n]);
             done += n;
         }
+        self.observer.mem_read(self.node, addr, buf, &self.vt);
         Ok(())
     }
 
@@ -304,6 +317,7 @@ impl LrcEngine {
                 if meta.state == PageState::ReadWrite {
                     let off = addr & (self.cfg.page_size - 1);
                     meta.data[off..off + data.len()].copy_from_slice(data);
+                    self.observer.mem_write(self.node, addr, data, &self.vt);
                     return Ok(());
                 }
             }
@@ -341,6 +355,7 @@ impl LrcEngine {
             dst[off..off + n].copy_from_slice(&data[done..done + n]);
             done += n;
         }
+        self.observer.mem_write(self.node, addr, data, &self.vt);
         Ok(())
     }
 
@@ -433,6 +448,7 @@ impl LrcEngine {
         for &p in &rec.pages {
             self.capture_own_diff(p);
         }
+        self.observer.interval_closed(self.node, &rec);
         Some(rec)
     }
 
@@ -518,6 +534,7 @@ impl LrcEngine {
                 _ => meta.state = PageState::Invalid,
             }
         }
+        self.observer.record_applied(self.node, &rec);
         self.intervals.insert(rec);
     }
 
@@ -824,6 +841,8 @@ impl LrcEngine {
             PageState::Invalid
         };
         self.stats.pages_installed += 1;
+        self.observer
+            .page_installed(self.node, page, &self.pages[page as usize].applied);
         true
     }
 

@@ -33,6 +33,7 @@ pub mod config;
 pub mod diff;
 pub mod engine;
 pub mod interval;
+pub mod observer;
 pub mod page;
 pub mod vc;
 
@@ -40,5 +41,6 @@ pub use config::{LrcConfig, PageOwnership};
 pub use diff::{Diff, DiffRecord};
 pub use engine::{Demand, LrcEngine};
 pub use interval::IntervalRecord;
+pub use observer::{EngineObserver, ObserverSlot};
 pub use page::{PageId, PageState};
 pub use vc::Vc;

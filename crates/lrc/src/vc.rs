@@ -205,3 +205,67 @@ mod tests {
         assert_eq!(v, vec![(0, 0), (1, 9)]);
     }
 }
+
+#[cfg(test)]
+mod algebra_props {
+    //! Property tests for the `Vc` lattice algebra. The checker's oracle
+    //! leans on these laws (join as least upper bound, `dominates` as a
+    //! partial order, `concurrent` as its symmetric complement), so they
+    //! are pinned here rather than assumed.
+
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Small components over a small cluster keep the order relation dense
+    /// enough that dominated, dominating, and concurrent pairs all appear.
+    fn vc3() -> impl Strategy<Value = Vc> {
+        proptest::collection::vec(0u32..5, 4).prop_map(Vc)
+    }
+
+    fn joined(a: &Vc, b: &Vc) -> Vc {
+        let mut j = a.clone();
+        j.join(b);
+        j
+    }
+
+    proptest! {
+        #[test]
+        fn join_is_upper_bound_commutative_idempotent(a in vc3(), b in vc3()) {
+            let ab = joined(&a, &b);
+            prop_assert!(ab.dominates(&a), "join must dominate left input");
+            prop_assert!(ab.dominates(&b), "join must dominate right input");
+            prop_assert_eq!(&ab, &joined(&b, &a), "join must be commutative");
+            prop_assert_eq!(&joined(&a, &a), &a, "join must be idempotent");
+        }
+
+        #[test]
+        fn join_is_least_upper_bound(a in vc3(), b in vc3(), c in vc3()) {
+            // Any common upper bound of a and b dominates their join.
+            if c.dominates(&a) && c.dominates(&b) {
+                prop_assert!(c.dominates(&joined(&a, &b)));
+            }
+        }
+
+        #[test]
+        fn dominates_is_a_partial_order(a in vc3(), b in vc3(), c in vc3()) {
+            prop_assert!(a.dominates(&a), "reflexivity");
+            if a.dominates(&b) && b.dominates(&a) {
+                prop_assert_eq!(&a, &b, "antisymmetry");
+            }
+            if a.dominates(&b) && b.dominates(&c) {
+                prop_assert!(a.dominates(&c), "transitivity");
+            }
+        }
+
+        #[test]
+        fn concurrent_is_symmetric_and_irreflexive(a in vc3(), b in vc3()) {
+            prop_assert_eq!(a.concurrent(&b), b.concurrent(&a), "symmetry");
+            prop_assert!(!a.concurrent(&a), "irreflexivity");
+            // Concurrency is exactly the absence of order, either way.
+            prop_assert_eq!(
+                a.concurrent(&b),
+                !a.dominates(&b) && !b.dominates(&a)
+            );
+        }
+    }
+}

@@ -17,6 +17,27 @@ use crate::{
     time::{NodeId, Ns},
 };
 
+/// Passive observer of wire-level deliveries (checker instrumentation).
+///
+/// The event loop invokes [`WireObserver::frame_delivered`] on the runner
+/// thread, under the kernel lock, at the instant a datagram is appended to
+/// a destination mailbox. Implementations must only record: they must not
+/// call back into the simulator, block on simulated state, or panic —
+/// escalation belongs in node-side hooks. Loopback datagrams (src == dst)
+/// skip the wire and are not reported. Observer calls charge no virtual
+/// time, so observed runs are event-for-event identical to unobserved ones.
+pub trait WireObserver: Send + Sync {
+    /// A datagram from `src` was appended to `dst`'s mailbox.
+    fn frame_delivered(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        sent_at: Ns,
+        delivered_at: Ns,
+        bytes: usize,
+    );
+}
+
 /// A datagram as seen by a receiving node.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Datagram {
@@ -97,6 +118,13 @@ impl Cluster {
             n_nodes: self.n_nodes,
         };
         self.threads.push(spawn_proc_thread(ctx, main));
+    }
+
+    /// Installs a passive [`WireObserver`] notified at each non-loopback
+    /// mailbox delivery. Install before [`Cluster::run`]; observation adds
+    /// zero virtual-time cost.
+    pub fn set_observer(&mut self, obs: Arc<dyn WireObserver>) {
+        self.shared.kernel.lock().observer = Some(obs);
     }
 
     fn register_proc(&self, node: NodeId, start_at: Ns) -> ProcId {
@@ -263,6 +291,18 @@ impl Cluster {
                         k.push_event(until, EvKind::Deliver { dst, dgram });
                         continue;
                     }
+                    if dgram.src != dst {
+                        k.net.delivered += 1;
+                        if let Some(obs) = &k.observer {
+                            obs.frame_delivered(
+                                dgram.src,
+                                dst,
+                                dgram.sent_at,
+                                k.now,
+                                dgram.payload.len(),
+                            );
+                        }
+                    }
                     k.nodes[dst as usize].mailbox.push_back(dgram);
                     let now = k.now;
                     let waiters: Vec<(ProcId, u64)> = k
@@ -283,6 +323,14 @@ impl Cluster {
                     k.fault.mark_crashed(node);
                     let pending = k.nodes[node as usize].mailbox.len() as u64;
                     k.net.dropped_crash += pending;
+                    // Conservation bookkeeping: purged frames were already
+                    // counted as delivered (when non-loopback), so record
+                    // them to keep `messages` balanceable.
+                    k.net.purged_crash += k.nodes[node as usize]
+                        .mailbox
+                        .iter()
+                        .filter(|d| d.src != node)
+                        .count() as u64;
                     k.nodes[node as usize].mailbox.clear();
                     k.nodes[node as usize].counters.add("node.crashed", 1);
                     // Terminate the node's procs: each wakes inside park(),
@@ -333,11 +381,19 @@ fn payload_message(payload: &Box<dyn std::any::Any + Send>) -> String {
 }
 
 fn build_report(k: &Kernel) -> SimReport {
+    // Events already popped are gone from the queue, so what remains is
+    // exactly the set of deliveries that were scheduled but never landed.
+    let mut net = k.net;
+    net.in_flight = k
+        .queue
+        .iter()
+        .filter(|ev| matches!(&ev.0.kind, EvKind::Deliver { dst, dgram } if dgram.src != *dst))
+        .count() as u64;
     SimReport {
         elapsed: k.end_time,
         node_buckets: k.nodes.iter().map(|n| n.buckets).collect(),
         node_counters: k.nodes.iter().map(|n| n.counters.clone()).collect(),
-        net: k.net,
+        net,
         bandwidth_bps: k.config.bandwidth_bps,
         events_processed: k.events_processed,
         crashed_nodes: k.fault.crashed_nodes(),

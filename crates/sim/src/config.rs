@@ -38,6 +38,15 @@ pub struct SimConfig {
     /// Scripted fault schedule (burst loss, partitions, pauses, crashes).
     /// The default empty plan injects nothing.
     pub fault_plan: FaultPlan,
+    /// Maximum extra receiver-side delivery delay per frame, in
+    /// nanoseconds. `0` (the default) disables jitter entirely: no random
+    /// numbers are drawn and event timing is bit-identical to builds
+    /// predating the knob. Nonzero values perturb cross-pair delivery
+    /// ordering deterministically (per-pair FIFO is preserved), which the
+    /// schedule-exploration harness uses to widen interleaving coverage.
+    pub jitter_max: Ns,
+    /// Seed for the delivery-jitter stream (independent of `loss_seed`).
+    pub jitter_seed: u64,
 }
 
 impl Default for SimConfig {
@@ -70,6 +79,8 @@ impl SimConfig {
             max_virtual_time: None,
             max_events: None,
             fault_plan: FaultPlan::default(),
+            jitter_max: 0,
+            jitter_seed: 0,
         }
     }
 
@@ -87,6 +98,8 @@ impl SimConfig {
             max_virtual_time: Some(crate::time::secs(7_200)),
             max_events: Some(200_000_000),
             fault_plan: FaultPlan::default(),
+            jitter_max: 0,
+            jitter_seed: 0,
         }
     }
 
@@ -106,6 +119,17 @@ impl SimConfig {
     #[must_use]
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
         self.fault_plan = plan;
+        self
+    }
+
+    /// Returns `self` with deterministic delivery jitter (builder style).
+    /// Each successfully transmitted frame is delayed by an extra amount
+    /// in `[0, max]` drawn from a stream seeded by `seed`; per-pair FIFO
+    /// order is preserved by clamping to the pair's previous delivery time.
+    #[must_use]
+    pub fn with_jitter(mut self, max: Ns, seed: u64) -> Self {
+        self.jitter_max = max;
+        self.jitter_seed = seed;
         self
     }
 
@@ -142,5 +166,15 @@ mod tests {
     #[should_panic(expected = "within [0, 1]")]
     fn with_loss_rejects_bad_probability() {
         let _ = SimConfig::fast_test().with_loss(1.5, 0);
+    }
+
+    #[test]
+    fn with_jitter_builder() {
+        let c = SimConfig::fast_test().with_jitter(us(50), 7);
+        assert_eq!(c.jitter_max, us(50));
+        assert_eq!(c.jitter_seed, 7);
+        // Defaults keep jitter disabled.
+        assert_eq!(SimConfig::osdi94().jitter_max, 0);
+        assert_eq!(SimConfig::fast_test().jitter_max, 0);
     }
 }

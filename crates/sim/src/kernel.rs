@@ -10,7 +10,7 @@
 use std::{
     any::Any,
     cmp::Reverse,
-    collections::{BinaryHeap, VecDeque},
+    collections::{BTreeMap, BinaryHeap, VecDeque},
     sync::Arc,
 };
 
@@ -19,7 +19,7 @@ use parking_lot::Condvar;
 use carlos_util::rng::Xoshiro256;
 
 use crate::{
-    cluster::Datagram,
+    cluster::{Datagram, WireObserver},
     config::SimConfig,
     fault::{DropCause, FaultState},
     stats::{Counters, NetStats, TimeBuckets},
@@ -123,8 +123,18 @@ pub(crate) struct Kernel {
     pub medium_busy_until: Ns,
     pub net: NetStats,
     pub loss_rng: Xoshiro256,
+    /// Delivery-jitter stream; only consulted when `config.jitter_max > 0`,
+    /// so jitter-free configs draw nothing and stay bit-identical.
+    pub jitter_rng: Xoshiro256,
+    /// Last scheduled delivery time per (src, dst) pair, used to clamp
+    /// jittered deliveries so per-pair FIFO order is preserved. Empty (and
+    /// never touched) while jitter is disabled.
+    pub pair_last_delivery: BTreeMap<(NodeId, NodeId), Ns>,
     /// Scripted-fault runtime state compiled from the config's plan.
     pub fault: FaultState,
+    /// Passive wire observer invoked at each mailbox delivery (checker
+    /// instrumentation). Charges no virtual time.
+    pub observer: Option<Arc<dyn WireObserver>>,
     /// First panic payload captured from a proc, re-thrown by the runner.
     pub panic: Option<Box<dyn Any + Send>>,
     /// Node of the proc whose panic was captured.
@@ -140,6 +150,7 @@ pub(crate) struct Kernel {
 impl Kernel {
     pub fn new(config: SimConfig, n_nodes: usize) -> Self {
         let loss_rng = Xoshiro256::new(config.loss_seed);
+        let jitter_rng = Xoshiro256::new(config.jitter_seed);
         let fault = FaultState::new(&config.fault_plan, n_nodes);
         let crashes: Vec<(NodeId, Ns)> = config.fault_plan.crash_times().collect();
         let mut k = Self {
@@ -154,7 +165,10 @@ impl Kernel {
             medium_busy_until: 0,
             net: NetStats::default(),
             loss_rng,
+            jitter_rng,
+            pair_last_delivery: BTreeMap::new(),
             fault,
+            observer: None,
             panic: None,
             panic_node: None,
             poisoned: false,
@@ -218,7 +232,24 @@ impl Kernel {
                 self.net.dropped_partition += 1;
                 None
             }
-            None => Some(start + ft + self.config.wire_latency),
+            None => {
+                let mut at = start + ft + self.config.wire_latency;
+                if self.config.jitter_max > 0 {
+                    // Receiver-side scheduling variance: delay the delivery
+                    // event without occupying the medium longer. Clamping to
+                    // the pair's previous delivery time preserves per-pair
+                    // FIFO (which the transport and `known`-snapshot logic
+                    // rely on); cross-pair reordering is the point.
+                    at += self.jitter_rng.next_below(self.config.jitter_max + 1) as Ns;
+                    let last = self
+                        .pair_last_delivery
+                        .entry((src, dst))
+                        .or_insert(0);
+                    at = at.max(*last);
+                    *last = at;
+                }
+                Some(at)
+            }
         }
     }
 }

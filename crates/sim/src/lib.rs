@@ -54,7 +54,7 @@ pub mod stats;
 pub mod time;
 pub mod transport;
 
-pub use cluster::{Cluster, Datagram, NodeCtx, SimReport};
+pub use cluster::{Cluster, Datagram, NodeCtx, SimReport, WireObserver};
 pub use config::SimConfig;
 pub use error::{abort, AbortInfo, BlockedProc, SimError};
 pub use fault::{FaultPlan, FaultSpec, GeParams};

@@ -133,6 +133,17 @@ pub struct NetStats {
     pub dropped_crash: u64,
     /// Deliveries deferred because the destination was in a scripted pause.
     pub deferred_pause: u64,
+    /// Datagrams actually appended to a destination mailbox (loopback
+    /// excluded, matching `messages`).
+    pub delivered: u64,
+    /// Of `dropped_crash`: datagrams that had already been delivered to the
+    /// crashed node's mailbox and were purged at the crash instant. The
+    /// remainder of `dropped_crash` arrived after the crash and was never
+    /// delivered.
+    pub purged_crash: u64,
+    /// Datagrams still queued for delivery when the run ended (sent, not
+    /// dropped, not yet in any mailbox).
+    pub in_flight: u64,
 }
 
 impl NetStats {

@@ -332,6 +332,81 @@ fn sustained_silence_convicts_the_peer() {
     }
 }
 
+/// Every datagram handed to the wire is accounted for exactly once: it is
+/// delivered to a mailbox, dropped by loss injection, discarded because the
+/// destination crashed (minus the frames that were delivered first and
+/// purged at the crash instant), or still in flight when the run ends.
+/// A chaos plan exercising all four fates at once must balance the books.
+#[test]
+fn netstats_conserve_every_datagram_under_chaos() {
+    let ge = GeParams {
+        p_enter_bad: 0.5,
+        p_exit_bad: 0.2,
+        loss_good: 0.05,
+        loss_bad: 0.9,
+    };
+    let plan = FaultPlan::new(0xC0FFEE)
+        .burst_loss(0, ms(50), ge)
+        .partition(&[0], &[1], ms(60), ms(90))
+        .pause(1, ms(10), ms(30))
+        .crash(2, ms(40));
+    let cfg = SimConfig::fast_test().with_fault_plan(plan);
+    let mut c = Cluster::new(cfg, 3);
+    c.spawn_node(0, |ctx| {
+        // Raw datagrams on a fixed schedule spanning every fault window:
+        // the burst (0-50ms), node 1's pause (10-30ms), node 2's crash
+        // (40ms), and the 0<->1 partition (60-90ms).
+        for i in 0..50u32 {
+            ctx.send_datagram(1, i.to_le_bytes().to_vec());
+            ctx.send_datagram(2, i.to_le_bytes().to_vec());
+            ctx.sleep(ms(2));
+        }
+    });
+    // Node 1 never drains its mailbox; delivery accounting is wire-level.
+    c.spawn_node(1, |ctx| ctx.sleep(ms(150)));
+    // Node 2 parks until well past its crash instant with frames pending
+    // in its mailbox, so the crash purges some deliveries.
+    c.spawn_node(2, |ctx| ctx.sleep(ms(150)));
+    let rep = c.try_run().expect("survivors run to completion");
+    assert_eq!(rep.crashed_nodes, vec![2]);
+    let n = rep.net;
+    // Each fate must actually occur for the balance to mean anything.
+    assert!(n.delivered > 0, "some frames must land");
+    assert!(n.dropped_burst > 0, "the burst window must bite");
+    assert!(n.dropped_partition > 0, "the partition must bite");
+    assert!(n.deferred_pause > 0, "the pause must defer deliveries");
+    assert!(n.purged_crash > 0, "the crash must purge pending deliveries");
+    assert!(
+        n.dropped_crash > n.purged_crash,
+        "some frames must arrive after the crash"
+    );
+    assert_eq!(
+        n.messages,
+        n.delivered + n.dropped + (n.dropped_crash - n.purged_crash) + n.in_flight,
+        "datagram conservation violated: {n:?}"
+    );
+}
+
+/// On a quiet, fault-free run the ledger is trivial: everything handed to
+/// the wire is delivered.
+#[test]
+fn netstats_conservation_without_faults() {
+    let mut c = Cluster::new(SimConfig::fast_test(), 2);
+    c.spawn_node(0, |ctx| {
+        for i in 0..20u32 {
+            ctx.send_datagram(1, i.to_le_bytes().to_vec());
+        }
+        ctx.sleep(ms(5));
+    });
+    c.spawn_node(1, |ctx| ctx.sleep(ms(5)));
+    let n = c.run().net;
+    assert_eq!(n.messages, 20);
+    assert_eq!(n.delivered + n.in_flight, 20);
+    assert_eq!(n.dropped, 0);
+    assert_eq!(n.dropped_crash, 0);
+    assert_eq!(n.purged_crash, 0);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
 

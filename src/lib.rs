@@ -18,7 +18,11 @@
 //!   (hosting global GC), semaphores, condition variables, and shared work
 //!   queues built on store-and-forward ([`sync`]);
 //! - the paper's **applications** — TSP, Quicksort, Water — in lock and
-//!   hybrid variants ([`apps`]).
+//!   hybrid variants ([`apps`]);
+//! - an online **consistency oracle**: a happens-before tracker, shadow
+//!   memory validating every read under LRC legality, and a data-race
+//!   detector with (node, interval, address) attribution, installable on
+//!   any run as a pure observer ([`check`]).
 //!
 //! # Quick start
 //!
@@ -54,6 +58,7 @@
 #![warn(missing_docs)]
 
 pub use carlos_apps as apps;
+pub use carlos_check as check;
 pub use carlos_core as core;
 pub use carlos_lrc as lrc;
 pub use carlos_sim as sim;

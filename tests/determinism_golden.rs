@@ -12,6 +12,7 @@
 //! these fingerprints), regenerate the goldens by running the test and
 //! copying the `actual fingerprint:` block from the failure message.
 
+use carlos::check::Checker;
 use carlos::core::{CoreConfig, Runtime};
 use carlos::lrc::LrcConfig;
 use carlos::sim::time::{ms, us};
@@ -60,12 +61,19 @@ fn fingerprint(r: &SimReport) -> String {
 /// A fixed 2-node lock/barrier workload over shared pages: enough traffic
 /// to exercise diff creation/application, page fetches, interval records,
 /// and the wire codec end to end.
-fn two_node_run() -> SimReport {
+fn two_node_run(check: Option<Checker>) -> SimReport {
     const N: usize = 2;
     let mut cluster = Cluster::new(SimConfig::osdi94(), N);
+    if let Some(check) = &check {
+        check.attach(&mut cluster);
+    }
     for node in 0..N as u32 {
+        let check = check.clone();
         cluster.spawn_node(node, move |ctx| {
             let mut rt = Runtime::new(ctx, LrcConfig::osdi94(N, 1 << 15), CoreConfig::osdi94());
+            if let Some(check) = &check {
+                check.install(&mut rt);
+            }
             let sys = carlos::sync::install(&mut rt);
             let lock = LockSpec::new(1, 0);
             let b = BarrierSpec::global(9, 0);
@@ -92,11 +100,15 @@ fn two_node_run() -> SimReport {
 
 /// Same shape, but with packet loss and the ARQ transport, so retransmit
 /// paths are part of the pinned behavior too.
-fn two_node_lossy_run() -> SimReport {
+fn two_node_lossy_run(check: Option<Checker>) -> SimReport {
     const N: usize = 2;
     let cfg = SimConfig::fast_test().with_loss(0.10, 77);
     let mut cluster = Cluster::new(cfg, N);
+    if let Some(check) = &check {
+        check.attach(&mut cluster);
+    }
     for node in 0..N as u32 {
+        let check = check.clone();
         cluster.spawn_node(node, move |ctx| {
             let ack = AckMode::Arq {
                 window: 16,
@@ -104,6 +116,9 @@ fn two_node_lossy_run() -> SimReport {
             };
             let mut rt =
                 Runtime::with_ack_mode(ctx, LrcConfig::small_test(N), CoreConfig::fast_test(), ack);
+            if let Some(check) = &check {
+                check.install(&mut rt);
+            }
             let sys = carlos::sync::install(&mut rt);
             let lock = LockSpec::new(1, 0);
             for _ in 0..6 {
@@ -125,7 +140,7 @@ fn two_node_lossy_run() -> SimReport {
 /// the uniform loss: a Gilbert–Elliott burst window and a node pause. Pins
 /// the fault subsystem's behavior — GE chain consumption, deferred
 /// deliveries, ARQ recovery — not just its absence.
-fn two_node_chaos_run() -> SimReport {
+fn two_node_chaos_run(check: Option<Checker>) -> SimReport {
     use carlos::sim::{FaultPlan, GeParams};
     const N: usize = 2;
     let plan = FaultPlan::new(0xC4A05)
@@ -142,7 +157,11 @@ fn two_node_chaos_run() -> SimReport {
         .pause(1, us(20), ms(12));
     let cfg = SimConfig::fast_test().with_loss(0.05, 77).with_fault_plan(plan);
     let mut cluster = Cluster::new(cfg, N);
+    if let Some(check) = &check {
+        check.attach(&mut cluster);
+    }
     for node in 0..N as u32 {
+        let check = check.clone();
         cluster.spawn_node(node, move |ctx| {
             let ack = AckMode::Arq {
                 window: 16,
@@ -150,6 +169,9 @@ fn two_node_chaos_run() -> SimReport {
             };
             let mut rt =
                 Runtime::with_ack_mode(ctx, LrcConfig::small_test(N), CoreConfig::fast_test(), ack);
+            if let Some(check) = &check {
+                check.install(&mut rt);
+            }
             let sys = carlos::sync::install(&mut rt);
             let lock = LockSpec::new(1, 0);
             for _ in 0..6 {
@@ -207,7 +229,7 @@ node1 counters barrier.waits=2 carlos.accepted=3 carlos.diff_requests_served=1 c
 #[test]
 fn two_node_chaos_report_is_pinned() {
     assert_matches_golden(
-        &two_node_chaos_run(),
+        &two_node_chaos_run(None),
         GOLDEN_TWO_NODE_CHAOS,
         "2-node chaos (burst loss + pause) workload",
     );
@@ -215,14 +237,47 @@ fn two_node_chaos_report_is_pinned() {
 
 #[test]
 fn two_node_report_is_pinned() {
-    assert_matches_golden(&two_node_run(), GOLDEN_TWO_NODE, "2-node osdi94 workload");
+    assert_matches_golden(
+        &two_node_run(None),
+        GOLDEN_TWO_NODE,
+        "2-node osdi94 workload",
+    );
 }
 
 #[test]
 fn two_node_lossy_report_is_pinned() {
     assert_matches_golden(
-        &two_node_lossy_run(),
+        &two_node_lossy_run(None),
         GOLDEN_TWO_NODE_LOSSY,
         "2-node lossy ARQ workload",
     );
+}
+
+/// The consistency oracle is a pure observer: installing it on every node
+/// and attaching it to the wire must leave the pinned fingerprints —
+/// virtual times, event and message counts, every per-node counter —
+/// bit-identical, while the oracle itself reports a clean run.
+#[test]
+fn checker_is_invisible_to_the_goldens() {
+    for (run, golden, what) in [
+        (
+            two_node_run as fn(Option<Checker>) -> SimReport,
+            GOLDEN_TWO_NODE,
+            "checked 2-node osdi94 workload",
+        ),
+        (
+            two_node_lossy_run,
+            GOLDEN_TWO_NODE_LOSSY,
+            "checked 2-node lossy ARQ workload",
+        ),
+        (
+            two_node_chaos_run,
+            GOLDEN_TWO_NODE_CHAOS,
+            "checked 2-node chaos workload",
+        ),
+    ] {
+        let check = Checker::new(2);
+        assert_matches_golden(&run(Some(check.clone())), golden, what);
+        check.assert_clean();
+    }
 }

@@ -1,0 +1,131 @@
+//! Schedule exploration: every application runs under the online
+//! consistency oracle across a sweep of message-delivery schedules.
+//!
+//! The simulator is deterministic for a fixed configuration, so a single
+//! run exercises a single delivery schedule. The [`SimConfig::with_jitter`]
+//! knob perturbs per-message delivery latency from a seeded RNG (preserving
+//! per-pair FIFO order), so sweeping seeds explores distinct legal
+//! schedules — different interleavings of lock handoffs, diff fetches, and
+//! barrier arrivals. Under every schedule the application must (a) produce
+//! the same answer as its reference and (b) keep the oracle clean: no
+//! happens-before violation, no data race, no stale read.
+//!
+//! This is the harness that turns the oracle from a spot check into a
+//! search: `examples/explore.rs` widens the same sweep from the command
+//! line.
+
+use carlos::apps::qsort::{run_qsort, QsortConfig, QsortVariant};
+use carlos::apps::sor::{run_sor, sequential_reference, SorConfig};
+use carlos::apps::tsp::{run_tsp, Cities, TspConfig, TspVariant};
+use carlos::apps::water::{run_water, WaterConfig, WaterVariant};
+use carlos::check::Checker;
+use carlos::sim::time::us;
+
+/// Delivery-schedule seeds: arbitrary, fixed for reproducibility.
+const SEEDS: [u64; 4] = [1, 2, 0xBEEF, 0x5EED_0115];
+
+#[test]
+fn sor_is_clean_and_exact_across_schedules() {
+    let reference = sequential_reference(&SorConfig::test(1));
+    for seed in SEEDS {
+        let mut cfg = SorConfig::test(3);
+        cfg.sim = cfg.sim.with_jitter(us(50), seed);
+        let check = Checker::new(cfg.n_nodes);
+        cfg.check = Some(check.clone());
+        let r = run_sor(&cfg);
+        assert_eq!(r.grid, reference, "seed {seed}: SOR diverged");
+        check.assert_clean();
+    }
+}
+
+#[test]
+fn qsort_is_clean_and_sorted_across_schedules() {
+    for seed in SEEDS {
+        let mut cfg = QsortConfig::test(3, QsortVariant::Lock);
+        cfg.sim = cfg.sim.with_jitter(us(50), seed);
+        let check = Checker::new(cfg.n_nodes);
+        cfg.check = Some(check.clone());
+        let r = run_qsort(&cfg);
+        assert!(r.sorted, "seed {seed}: unsorted output");
+        assert!(r.permutation_ok, "seed {seed}: elements lost/duplicated");
+        check.assert_clean();
+    }
+}
+
+#[test]
+fn tsp_is_clean_and_optimal_across_schedules() {
+    let base = TspConfig::test(3, TspVariant::Lock);
+    let optimum = Cities::generate(base.n_cities, base.seed).held_karp();
+    for seed in SEEDS {
+        let mut cfg = base.clone();
+        cfg.sim = cfg.sim.with_jitter(us(50), seed);
+        let check = Checker::new(cfg.n_nodes);
+        cfg.check = Some(check.clone());
+        let r = run_tsp(&cfg);
+        assert_eq!(r.best_len, optimum, "seed {seed}: suboptimal tour");
+        check.assert_clean();
+    }
+}
+
+#[test]
+fn water_is_clean_and_accurate_across_schedules() {
+    let seq = run_water(&WaterConfig::test(1, WaterVariant::Lock));
+    for seed in SEEDS {
+        let mut cfg = WaterConfig::test(3, WaterVariant::Lock);
+        cfg.sim = cfg.sim.with_jitter(us(50), seed);
+        let check = Checker::new(cfg.n_nodes);
+        cfg.check = Some(check.clone());
+        let r = run_water(&cfg);
+        for (m, (a, b)) in seq.positions.iter().zip(&r.positions).enumerate() {
+            for d in 0..3 {
+                assert!(
+                    (a[d] - b[d]).abs() < 1e-6,
+                    "seed {seed}: molecule {m} diverged"
+                );
+            }
+        }
+        check.assert_clean();
+    }
+}
+
+/// The hybrid variants route updates through messages instead of locks;
+/// they too must stay race-free under schedule perturbation (the §5
+/// claim that sequential message delivery replaces explicit locks).
+#[test]
+fn hybrids_are_clean_across_schedules() {
+    for seed in [SEEDS[0], SEEDS[2]] {
+        let mut q = QsortConfig::test(3, QsortVariant::Hybrid1);
+        q.sim = q.sim.with_jitter(us(50), seed);
+        let qc = Checker::new(q.n_nodes);
+        q.check = Some(qc.clone());
+        let r = run_qsort(&q);
+        assert!(r.sorted && r.permutation_ok, "seed {seed}: hybrid qsort");
+        qc.assert_clean();
+
+        let mut w = WaterConfig::test(3, WaterVariant::Hybrid);
+        w.sim = w.sim.with_jitter(us(50), seed);
+        let wc = Checker::new(w.n_nodes);
+        w.check = Some(wc.clone());
+        let _ = run_water(&w);
+        wc.assert_clean();
+    }
+}
+
+/// Zero jitter must draw nothing from the jitter RNG: the checked run's
+/// virtual-time outcome is identical to an unchecked, unjittered run.
+#[test]
+fn checker_and_zero_jitter_are_observer_only() {
+    let plain = run_sor(&SorConfig::test(3));
+    let mut cfg = SorConfig::test(3);
+    cfg.sim = cfg.sim.with_jitter(0, 12345);
+    let check = Checker::new(cfg.n_nodes);
+    cfg.check = Some(check.clone());
+    let observed = run_sor(&cfg);
+    assert_eq!(plain.app.report.elapsed, observed.app.report.elapsed);
+    assert_eq!(
+        plain.app.report.events_processed,
+        observed.app.report.events_processed
+    );
+    assert_eq!(plain.grid, observed.grid);
+    check.assert_clean();
+}
