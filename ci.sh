@@ -12,8 +12,8 @@ cargo test --workspace -q
 
 echo "==> cargo clippy -D warnings (hot-path + hardened crates)"
 cargo clippy -p carlos-util -p carlos-sim -p carlos-lrc -p carlos-core \
-    -p carlos-sync -p carlos-check -p carlos-bench -p bytes -p criterion \
-    -p proptest -p parking_lot --all-targets -- -D warnings
+    -p carlos-sync -p carlos-check -p carlos-trace -p carlos-bench -p bytes \
+    -p criterion -p proptest -p parking_lot --all-targets -- -D warnings
 
 echo "==> chaos profile (scripted faults + pinned fingerprints)"
 cargo test -q --test chaos
@@ -24,6 +24,13 @@ echo "==> checker profile (consistency oracle over schedule sweeps)"
 cargo test -q -p carlos-check
 cargo test -q --test schedules
 cargo run --release -q --example explore
+
+echo "==> trace profile (causal tracer + traced paper-table report)"
+cargo test -q -p carlos-trace
+cargo test -q -p carlos-bench
+CARLOS_REPORT_QUICK=1 CARLOS_REPORT_OUT=target/BENCH_paper_quick.json \
+    cargo run --release -q --example report > target/report_quick.md
+grep -q '| TSP |' target/report_quick.md
 
 echo "==> wallclock bench (quick mode) -> BENCH_hotpath.json"
 CARLOS_BENCH_QUICK=1 cargo bench -p carlos-bench --bench wallclock

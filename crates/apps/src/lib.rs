@@ -18,7 +18,7 @@ pub mod tsp;
 pub mod water;
 
 pub use harness::{AppReport, Collector};
-pub use qsort::{run_qsort, QsortConfig, QsortVariant};
-pub use sor::{run_sor, SorConfig};
-pub use tsp::{run_tsp, TspConfig, TspVariant};
-pub use water::{run_water, WaterConfig, WaterVariant};
+pub use qsort::{run_qsort, try_run_qsort, QsortConfig, QsortVariant};
+pub use sor::{run_sor, try_run_sor, SorConfig};
+pub use tsp::{run_tsp, try_run_tsp, TspConfig, TspVariant};
+pub use water::{run_water, try_run_water, WaterConfig, WaterVariant};

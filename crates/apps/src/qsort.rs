@@ -87,6 +87,9 @@ pub struct QsortConfig {
     /// Optional consistency oracle, installed on every node and attached
     /// to the cluster wire (observer-only: virtual time is unaffected).
     pub check: Option<carlos_check::Checker>,
+    /// Optional causal tracer, installed on every node and attached to the
+    /// cluster wire (observer-only: virtual time is unaffected).
+    pub trace: Option<carlos_trace::Tracer>,
 }
 
 impl QsortConfig {
@@ -107,6 +110,7 @@ impl QsortConfig {
             verify_all_nodes: false,
             ack: AckMode::Implicit,
             check: None,
+            trace: None,
         }
     }
 
@@ -127,6 +131,7 @@ impl QsortConfig {
             verify_all_nodes: true,
             ack: AckMode::Implicit,
             check: None,
+            trace: None,
         }
     }
 }
@@ -175,17 +180,14 @@ fn layout(cfg: &QsortConfig) -> (Layout, usize) {
     )
 }
 
-/// Runs the Quicksort application on a simulated cluster.
-///
-/// # Panics
-///
-/// Panics on configuration errors or internal protocol violations.
-#[must_use]
-pub fn run_qsort(cfg: &QsortConfig) -> QsortResult {
+fn build_qsort(cfg: &QsortConfig) -> (Cluster, Collector<(bool, bool)>) {
     let checks: Collector<(bool, bool)> = Collector::new();
     let mut cluster = Cluster::new(cfg.sim.clone(), cfg.n_nodes);
     if let Some(check) = &cfg.check {
         check.attach(&mut cluster);
+    }
+    if let Some(trace) = &cfg.trace {
+        trace.attach(&mut cluster);
     }
     for node in 0..cfg.n_nodes as u32 {
         let cfg = cfg.clone();
@@ -195,13 +197,40 @@ pub fn run_qsort(cfg: &QsortConfig) -> QsortResult {
             checks.put(node, r);
         });
     }
-    let report = cluster.run();
+    (cluster, checks)
+}
+
+fn finish_qsort(report: carlos_sim::SimReport, checks: &Collector<(bool, bool)>) -> QsortResult {
     let collected = checks.take();
     QsortResult {
         app: AppReport::new(report),
         sorted: collected.iter().all(|(_, (s, _))| *s),
         permutation_ok: collected.iter().all(|(_, (_, p))| *p),
     }
+}
+
+/// Runs the Quicksort application on a simulated cluster.
+///
+/// # Panics
+///
+/// Panics on configuration errors or internal protocol violations.
+#[must_use]
+pub fn run_qsort(cfg: &QsortConfig) -> QsortResult {
+    let (cluster, checks) = build_qsort(cfg);
+    let report = cluster.run();
+    finish_qsort(report, &checks)
+}
+
+/// Runs the Quicksort application, returning simulation failures as a
+/// [`carlos_sim::SimError`] value instead of panicking.
+///
+/// # Errors
+///
+/// Returns the [`carlos_sim::SimError`] describing how the run failed.
+pub fn try_run_qsort(cfg: &QsortConfig) -> Result<QsortResult, carlos_sim::SimError> {
+    let (cluster, checks) = build_qsort(cfg);
+    let report = cluster.try_run()?;
+    Ok(finish_qsort(report, &checks))
 }
 
 fn qsort_node(cfg: &QsortConfig, ctx: carlos_sim::NodeCtx) -> (bool, bool) {
@@ -216,6 +245,9 @@ fn qsort_node(cfg: &QsortConfig, ctx: carlos_sim::NodeCtx) -> (bool, bool) {
     let mut rt = Runtime::with_ack_mode(ctx, lrc, cfg.core.clone(), cfg.ack);
     if let Some(check) = &cfg.check {
         check.install(&mut rt);
+    }
+    if let Some(trace) = &cfg.trace {
+        trace.install(&mut rt);
     }
     let sys = carlos_sync::install(&mut rt);
     let barrier = BarrierSpec::global(900, 0);

@@ -50,6 +50,9 @@ pub struct SorConfig {
     /// Optional consistency oracle, installed on every node and attached
     /// to the cluster wire (observer-only: virtual time is unaffected).
     pub check: Option<carlos_check::Checker>,
+    /// Optional causal tracer, installed on every node and attached to the
+    /// cluster wire (observer-only: virtual time is unaffected).
+    pub trace: Option<carlos_trace::Tracer>,
 }
 
 impl SorConfig {
@@ -70,6 +73,7 @@ impl SorConfig {
             page_size: 8192,
             ack: AckMode::Implicit,
             check: None,
+            trace: None,
         }
     }
 
@@ -87,6 +91,7 @@ impl SorConfig {
             page_size: 256,
             ack: AckMode::Implicit,
             check: None,
+            trace: None,
         }
     }
 }
@@ -144,17 +149,14 @@ fn initial_grid(rows: usize, cols: usize) -> Vec<f64> {
     g
 }
 
-/// Runs red-black SOR on a simulated cluster.
-///
-/// # Panics
-///
-/// Panics on configuration errors or internal protocol violations.
-#[must_use]
-pub fn run_sor(cfg: &SorConfig) -> SorResult {
+fn build_sor(cfg: &SorConfig) -> (Cluster, Collector<Vec<f64>>) {
     let out: Collector<Vec<f64>> = Collector::new();
     let mut cluster = Cluster::new(cfg.sim.clone(), cfg.n_nodes);
     if let Some(check) = &cfg.check {
         check.attach(&mut cluster);
+    }
+    if let Some(trace) = &cfg.trace {
+        trace.attach(&mut cluster);
     }
     for node in 0..cfg.n_nodes as u32 {
         let cfg = cfg.clone();
@@ -164,7 +166,10 @@ pub fn run_sor(cfg: &SorConfig) -> SorResult {
             out.put(node, g);
         });
     }
-    let report = cluster.run();
+    (cluster, out)
+}
+
+fn finish_sor(cfg: &SorConfig, report: carlos_sim::SimReport, out: &Collector<Vec<f64>>) -> SorResult {
     let grid = out
         .take()
         .into_iter()
@@ -181,6 +186,30 @@ pub fn run_sor(cfg: &SorConfig) -> SorResult {
         checksum,
         grid,
     }
+}
+
+/// Runs red-black SOR on a simulated cluster.
+///
+/// # Panics
+///
+/// Panics on configuration errors or internal protocol violations.
+#[must_use]
+pub fn run_sor(cfg: &SorConfig) -> SorResult {
+    let (cluster, out) = build_sor(cfg);
+    let report = cluster.run();
+    finish_sor(cfg, report, &out)
+}
+
+/// Runs red-black SOR, returning simulation failures as a
+/// [`carlos_sim::SimError`] value instead of panicking.
+///
+/// # Errors
+///
+/// Returns the [`carlos_sim::SimError`] describing how the run failed.
+pub fn try_run_sor(cfg: &SorConfig) -> Result<SorResult, carlos_sim::SimError> {
+    let (cluster, out) = build_sor(cfg);
+    let report = cluster.try_run()?;
+    Ok(finish_sor(cfg, report, &out))
 }
 
 fn sor_node(cfg: &SorConfig, ctx: carlos_sim::NodeCtx) -> Vec<f64> {
@@ -203,6 +232,9 @@ fn sor_node(cfg: &SorConfig, ctx: carlos_sim::NodeCtx) -> Vec<f64> {
     let mut rt = Runtime::with_ack_mode(ctx, lrc, cfg.core.clone(), cfg.ack);
     if let Some(check) = &cfg.check {
         check.install(&mut rt);
+    }
+    if let Some(trace) = &cfg.trace {
+        trace.install(&mut rt);
     }
     let sys = carlos_sync::install(&mut rt);
     let barrier = BarrierSpec::global(900, 0);

@@ -75,6 +75,9 @@ pub struct TspConfig {
     /// Optional consistency oracle, installed on every node and attached
     /// to the cluster wire (observer-only: virtual time is unaffected).
     pub check: Option<carlos_check::Checker>,
+    /// Optional causal tracer, installed on every node and attached to the
+    /// cluster wire (observer-only: virtual time is unaffected).
+    pub trace: Option<carlos_trace::Tracer>,
 }
 
 impl TspConfig {
@@ -95,6 +98,7 @@ impl TspConfig {
             page_size: 8192,
             ack: AckMode::Implicit,
             check: None,
+            trace: None,
         }
     }
 
@@ -115,6 +119,7 @@ impl TspConfig {
             page_size: 512,
             ack: AckMode::Implicit,
             check: None,
+            trace: None,
         }
     }
 }
@@ -461,18 +466,15 @@ fn generate_leaves(cities: &Cities, leaf_depth: usize, bound: u32) -> (Vec<Task>
     (out, expansions)
 }
 
-/// Runs the TSP application on a simulated cluster.
-///
-/// # Panics
-///
-/// Panics on configuration errors or internal protocol violations.
-#[must_use]
-pub fn run_tsp(cfg: &TspConfig) -> TspResult {
+fn build_tsp(cfg: &TspConfig) -> (Cluster, Collector<u32>, Collector<u64>) {
     let best_c: Collector<u32> = Collector::new();
     let exp_c: Collector<u64> = Collector::new();
     let mut cluster = Cluster::new(cfg.sim.clone(), cfg.n_nodes);
     if let Some(check) = &cfg.check {
         check.attach(&mut cluster);
+    }
+    if let Some(trace) = &cfg.trace {
+        trace.attach(&mut cluster);
     }
     for node in 0..cfg.n_nodes as u32 {
         let cfg = cfg.clone();
@@ -484,7 +486,10 @@ pub fn run_tsp(cfg: &TspConfig) -> TspResult {
             exp_c.put(node, res_exp);
         });
     }
-    let report = cluster.run();
+    (cluster, best_c, exp_c)
+}
+
+fn finish_tsp(report: carlos_sim::SimReport, best_c: &Collector<u32>, exp_c: &Collector<u64>) -> TspResult {
     let best = best_c
         .take()
         .into_iter()
@@ -497,6 +502,31 @@ pub fn run_tsp(cfg: &TspConfig) -> TspResult {
         best_len: best,
         expansions,
     }
+}
+
+/// Runs the TSP application on a simulated cluster.
+///
+/// # Panics
+///
+/// Panics on configuration errors or internal protocol violations.
+#[must_use]
+pub fn run_tsp(cfg: &TspConfig) -> TspResult {
+    let (cluster, best_c, exp_c) = build_tsp(cfg);
+    let report = cluster.run();
+    finish_tsp(report, &best_c, &exp_c)
+}
+
+/// Runs the TSP application, returning simulation failures (deadlock,
+/// node panic, safety-valve trip) as a [`carlos_sim::SimError`] value
+/// instead of panicking.
+///
+/// # Errors
+///
+/// Returns the [`carlos_sim::SimError`] describing how the run failed.
+pub fn try_run_tsp(cfg: &TspConfig) -> Result<TspResult, carlos_sim::SimError> {
+    let (cluster, best_c, exp_c) = build_tsp(cfg);
+    let report = cluster.try_run()?;
+    Ok(finish_tsp(report, &best_c, &exp_c))
 }
 
 fn ann(cfg: &TspConfig, normal: Annotation) -> Annotation {
@@ -523,6 +553,9 @@ fn tsp_node(cfg: &TspConfig, ctx: carlos_sim::NodeCtx) -> (u32, u64) {
         // Reads of the bound are deliberately unsynchronized — a benign
         // single-word race the paper calls safe (§5.1). Tell the oracle.
         check.allow_racy(lay.best, 4);
+    }
+    if let Some(trace) = &cfg.trace {
+        trace.install(&mut rt);
     }
     let sys = carlos_sync::install(&mut rt);
     let barrier = BarrierSpec::global(900, 0);

@@ -73,6 +73,9 @@ pub struct WaterConfig {
     /// Optional consistency oracle, installed on every node and attached
     /// to the cluster wire (observer-only: virtual time is unaffected).
     pub check: Option<carlos_check::Checker>,
+    /// Optional causal tracer, installed on every node and attached to the
+    /// cluster wire (observer-only: virtual time is unaffected).
+    pub trace: Option<carlos_trace::Tracer>,
 }
 
 impl WaterConfig {
@@ -94,6 +97,7 @@ impl WaterConfig {
             collect_all_nodes: false,
             ack: AckMode::Implicit,
             check: None,
+            trace: None,
         }
     }
 
@@ -115,6 +119,7 @@ impl WaterConfig {
             collect_all_nodes: true,
             ack: AckMode::Implicit,
             check: None,
+            trace: None,
         }
     }
 }
@@ -166,21 +171,21 @@ fn owned_range(node: u32, n_mols: usize, n_nodes: usize) -> std::ops::Range<usiz
     lo..hi
 }
 
-/// Runs the Water application on a simulated cluster.
-///
-/// # Panics
-///
-/// Panics if `n_molecules` is even, or on internal protocol violations.
-#[must_use]
-pub fn run_water(cfg: &WaterConfig) -> WaterResult {
+/// What each node hands back: final positions and its kinetic-energy sum.
+type WaterOut = (Vec<[f64; 3]>, f64);
+
+fn build_water(cfg: &WaterConfig) -> (Cluster, Collector<WaterOut>) {
     assert!(
         cfg.n_molecules % 2 == 1,
         "n_molecules must be odd for the half-window pair assignment"
     );
-    let out: Collector<(Vec<[f64; 3]>, f64)> = Collector::new();
+    let out: Collector<WaterOut> = Collector::new();
     let mut cluster = Cluster::new(cfg.sim.clone(), cfg.n_nodes);
     if let Some(check) = &cfg.check {
         check.attach(&mut cluster);
+    }
+    if let Some(trace) = &cfg.trace {
+        trace.attach(&mut cluster);
     }
     for node in 0..cfg.n_nodes as u32 {
         let cfg = cfg.clone();
@@ -190,7 +195,10 @@ pub fn run_water(cfg: &WaterConfig) -> WaterResult {
             out.put(node, r);
         });
     }
-    let report = cluster.run();
+    (cluster, out)
+}
+
+fn finish_water(report: carlos_sim::SimReport, out: &Collector<WaterOut>) -> WaterResult {
     let collected = out.take();
     let (positions, kinetic) = collected
         .into_iter()
@@ -202,6 +210,35 @@ pub fn run_water(cfg: &WaterConfig) -> WaterResult {
         positions,
         kinetic,
     }
+}
+
+/// Runs the Water application on a simulated cluster.
+///
+/// # Panics
+///
+/// Panics if `n_molecules` is even, or on internal protocol violations.
+#[must_use]
+pub fn run_water(cfg: &WaterConfig) -> WaterResult {
+    let (cluster, out) = build_water(cfg);
+    let report = cluster.run();
+    finish_water(report, &out)
+}
+
+/// Runs the Water application, returning simulation failures as a
+/// [`carlos_sim::SimError`] value instead of panicking.
+///
+/// # Panics
+///
+/// Panics if `n_molecules` is even (a configuration error, not a
+/// simulation failure).
+///
+/// # Errors
+///
+/// Returns the [`carlos_sim::SimError`] describing how the run failed.
+pub fn try_run_water(cfg: &WaterConfig) -> Result<WaterResult, carlos_sim::SimError> {
+    let (cluster, out) = build_water(cfg);
+    let report = cluster.try_run()?;
+    Ok(finish_water(report, &out))
 }
 
 fn mol_addr(lay: &Layout, m: usize) -> usize {
@@ -255,6 +292,9 @@ fn water_node(cfg: &WaterConfig, ctx: carlos_sim::NodeCtx) -> (Vec<[f64; 3]>, f6
     let mut rt = Runtime::with_ack_mode(ctx, lrc, cfg.core.clone(), cfg.ack);
     if let Some(check) = &cfg.check {
         check.install(&mut rt);
+    }
+    if let Some(trace) = &cfg.trace {
+        trace.install(&mut rt);
     }
     let sys = carlos_sync::install(&mut rt);
     let barrier = BarrierSpec::global(900, 0);

@@ -183,6 +183,32 @@ fn bench_e2e(quick: bool) -> Vec<E2eResult> {
         virtual_ns: vns,
     });
 
+    // The same TSP run with the tracer installed, in both modes: the
+    // delta is the tracer's host-time overhead (virtual time is pinned
+    // identical by the golden tests, so host seconds are the only cost).
+    for (id, full) in [
+        ("tsp_lock_4node_12c_traced_metrics", false),
+        ("tsp_lock_4node_12c_traced_full", true),
+    ] {
+        let base = tsp_cfg.clone();
+        let (host, vns) = time_e2e(reps, || {
+            let mut cfg = base.clone();
+            cfg.trace = Some(if full {
+                carlos_trace::Tracer::new(4)
+            } else {
+                carlos_trace::Tracer::metrics_only(4)
+            });
+            let r = run_tsp(&cfg);
+            black_box(r.app.report.elapsed)
+        });
+        eprintln!("e2e  {id}: {host:.3} host-s ({} virtual-ms)", vns / 1_000_000);
+        out.push(E2eResult {
+            id,
+            host_seconds: host,
+            virtual_ns: vns,
+        });
+    }
+
     let mut sor_cfg = SorConfig::test(4);
     sor_cfg.rows = 130;
     sor_cfg.cols = 64;
@@ -247,6 +273,21 @@ fn write_json(c: &Criterion, e2e: &[E2eResult], quick: bool) {
             lines.push(format!(
                 "    \"diff_create_speedup_{label}\": {x:.2}"
             ));
+        }
+    }
+    // Tracer host-time overhead relative to the untraced TSP run.
+    let e2e_secs = |id: &str| e2e.iter().find(|r| r.id == id).map(|r| r.host_seconds);
+    if let Some(base) = e2e_secs("tsp_lock_4node_12c").filter(|s| *s > 0.0) {
+        for (id, key) in [
+            ("tsp_lock_4node_12c_traced_metrics", "tracer_overhead_metrics_only_pct"),
+            ("tsp_lock_4node_12c_traced_full", "tracer_overhead_full_pct"),
+        ] {
+            if let Some(traced) = e2e_secs(id) {
+                lines.push(format!(
+                    "    \"{key}\": {:.1}",
+                    (traced / base - 1.0) * 100.0
+                ));
+            }
         }
     }
     s.push_str(&lines.join(",\n"));

@@ -23,6 +23,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod report;
+
 use carlos_apps::{
     harness::AppReport,
     qsort::{run_qsort, QsortConfig, QsortVariant},

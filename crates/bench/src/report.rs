@@ -1,0 +1,416 @@
+//! The paper-table report harness: runs the four applications (TSP,
+//! Quicksort, Water, SOR) across 1–4 nodes with a metrics-only
+//! [`Tracer`] installed, and renders the results two ways:
+//!
+//! - `BENCH_paper.json` — machine-readable rows mirroring the paper's
+//!   Tables 1–3 (time, speedup, messages, average size, utilization,
+//!   paper reference values), extended with the per-message-class cost
+//!   attribution the paper only reports as §5.4 microcosts;
+//! - a Markdown table for `EXPERIMENTS.md`-style side-by-side reading.
+//!
+//! Scale comes from [`ReportOptions`]: paper-scale configurations by
+//! default, test-scale when `CARLOS_REPORT_QUICK=1` (CI runs quick mode).
+
+use std::collections::BTreeMap;
+
+use carlos_apps::harness::AppReport;
+use carlos_apps::qsort::{try_run_qsort, QsortConfig, QsortVariant};
+use carlos_apps::sor::{try_run_sor, SorConfig};
+use carlos_apps::tsp::{try_run_tsp, TspConfig, TspVariant};
+use carlos_apps::water::{try_run_water, WaterConfig, WaterVariant};
+use carlos_core::{CoreConfig, MsgClass};
+use carlos_sim::SimError;
+use carlos_trace::Tracer;
+
+use crate::{paper_table1, paper_table2, paper_table3, PaperRow};
+
+/// Scale and scope of one report run.
+#[derive(Debug, Clone)]
+pub struct ReportOptions {
+    /// Test-scale configurations instead of paper-scale ones.
+    pub quick: bool,
+    /// Largest cluster size (the paper stops at 4).
+    pub max_nodes: usize,
+}
+
+impl ReportOptions {
+    /// Paper-scale, 1–4 nodes, unless `CARLOS_REPORT_QUICK=1` is set.
+    #[must_use]
+    pub fn from_env() -> Self {
+        let quick = std::env::var("CARLOS_REPORT_QUICK").is_ok_and(|v| !v.is_empty() && v != "0");
+        Self {
+            quick,
+            max_nodes: 4,
+        }
+    }
+}
+
+/// Per-message-class totals for one run: wire presence and protocol cost.
+#[derive(Debug, Clone)]
+pub struct ClassCost {
+    /// Message class name (`NONE`, `REQUEST`, `RELEASE`, `RELEASE_NT`,
+    /// `SYSTEM`).
+    pub class: &'static str,
+    /// Messages of this class sent.
+    pub sent: u64,
+    /// Messages of this class dispatched at their destination.
+    pub dispatched: u64,
+    /// Sealed wire-frame bytes carried by this class.
+    pub bytes: u64,
+    /// Total virtual nanoseconds of protocol cost attributed to this
+    /// class across all phases (send, receive, accept, diffing, …).
+    pub cost_ns: u64,
+    /// Mean send-intent-to-dispatch latency for this class (virtual ns).
+    pub mean_latency_ns: u64,
+}
+
+/// One row of the report: one (application, variant, cluster-size) run.
+#[derive(Debug, Clone)]
+pub struct ReportRow {
+    /// Application name ("TSP", "Quicksort", "Water", "SOR").
+    pub app: &'static str,
+    /// Variant label ("Lock", "Hybrid", "Hybrid-1", "-").
+    pub variant: &'static str,
+    /// Cluster size.
+    pub n: usize,
+    /// Measured elapsed virtual seconds.
+    pub secs: f64,
+    /// Speedup vs the measured single-node run of the same variant.
+    pub speedup: f64,
+    /// Messages on the wire.
+    pub messages: u64,
+    /// Average message payload size in bytes.
+    pub avg_bytes: u64,
+    /// Network utilization (fraction).
+    pub util: f64,
+    /// Per-message-class accounting (classes with traffic only).
+    pub classes: Vec<ClassCost>,
+    /// Demand diff fetches observed.
+    pub fetch_diffs: u64,
+    /// Whole-page fetches observed.
+    pub fetch_pages: u64,
+    /// Total virtual ns spent blocked in lock acquires.
+    pub wait_lock_ns: u64,
+    /// Total virtual ns spent blocked at barriers.
+    pub wait_barrier_ns: u64,
+    /// Paper reference values, where the paper reports this cell.
+    pub paper: Option<PaperRow>,
+}
+
+/// Collapses a finished traced run into a [`ReportRow`].
+fn finish_row(
+    app: &'static str,
+    variant: &'static str,
+    n: usize,
+    rep: &AppReport,
+    single_s: f64,
+    tracer: &Tracer,
+    paper: Option<PaperRow>,
+) -> ReportRow {
+    let m = tracer.metrics();
+    let mut class_bytes: BTreeMap<&'static str, u64> = BTreeMap::new();
+    for f in tracer.flows() {
+        if let Some(c) = f.class {
+            *class_bytes.entry(c.name()).or_default() += f.bytes as u64;
+        }
+    }
+    let classes = MsgClass::ALL
+        .iter()
+        .map(|c| {
+            let name = c.name();
+            let cost_prefix = format!("cost.{name}.");
+            ClassCost {
+                class: name,
+                sent: m.counter(&format!("msg.sent.{name}")),
+                dispatched: m.counter(&format!("msg.dispatched.{name}")),
+                bytes: class_bytes.get(name).copied().unwrap_or(0),
+                cost_ns: m
+                    .histograms()
+                    .filter(|(k, _)| k.starts_with(&cost_prefix))
+                    .map(|(_, h)| h.sum())
+                    .sum(),
+                mean_latency_ns: m
+                    .histogram(&format!("flow.latency.{name}"))
+                    .map_or(0, |h| h.mean() as u64),
+            }
+        })
+        .filter(|c| c.sent > 0)
+        .collect();
+    let wait_sum = |key: &str| m.histogram(key).map_or(0, carlos_trace::VtHistogram::sum);
+    ReportRow {
+        app,
+        variant,
+        n,
+        secs: rep.secs,
+        speedup: if rep.secs > 0.0 { single_s / rep.secs } else { 0.0 },
+        messages: rep.messages,
+        avg_bytes: rep.avg_msg_bytes,
+        util: rep.net_util,
+        classes,
+        fetch_diffs: m.counter("fetch.diffs"),
+        fetch_pages: m.counter("fetch.page"),
+        wait_lock_ns: wait_sum("wait.lock acquire"),
+        wait_barrier_ns: wait_sum("wait.barrier"),
+        paper,
+    }
+}
+
+/// Runs every (application, variant, n) cell and returns the rows in
+/// table order: TSP lock/hybrid, Quicksort lock/hybrid-1, Water
+/// lock/hybrid, SOR — each from 1 node up to `max_nodes`.
+///
+/// # Errors
+///
+/// Returns the first [`SimError`] if any run deadlocks, crashes, or
+/// aborts (the tracer is an observer and cannot itself cause one).
+pub fn run_report(opts: &ReportOptions) -> Result<Vec<ReportRow>, SimError> {
+    let mut rows: Vec<ReportRow> = Vec::new();
+    let ns = 1..=opts.max_nodes;
+
+    for (variant, name) in [(TspVariant::Lock, "Lock"), (TspVariant::Hybrid, "Hybrid")] {
+        let mut single = 0.0;
+        for n in ns.clone() {
+            let tracer = Tracer::metrics_only(n);
+            let mut cfg = if opts.quick {
+                // Test-scale workload, but the real cost model: the whole
+                // point of the report is cost attribution, and
+                // `fast_test` zeroes every protocol cost.
+                let mut cfg = TspConfig::test(n, variant);
+                cfg.core = CoreConfig::osdi94();
+                cfg
+            } else {
+                TspConfig::paper(n, variant)
+            };
+            cfg.trace = Some(tracer.clone());
+            let r = try_run_tsp(&cfg)?;
+            if n == 1 {
+                single = r.app.secs;
+            }
+            rows.push(finish_row("TSP", name, n, &r.app, single, &tracer, paper_table1(name, n)));
+        }
+    }
+
+    for (variant, name) in [
+        (QsortVariant::Lock, "Lock"),
+        (QsortVariant::Hybrid1, "Hybrid-1"),
+    ] {
+        let mut single = 0.0;
+        for n in ns.clone() {
+            let tracer = Tracer::metrics_only(n);
+            let mut cfg = if opts.quick {
+                // Test-scale workload, but the real cost model: the whole
+                // point of the report is cost attribution, and
+                // `fast_test` zeroes every protocol cost.
+                let mut cfg = QsortConfig::test(n, variant);
+                cfg.core = CoreConfig::osdi94();
+                cfg
+            } else {
+                QsortConfig::paper(n, variant)
+            };
+            cfg.trace = Some(tracer.clone());
+            let r = try_run_qsort(&cfg)?;
+            assert!(r.sorted && r.permutation_ok, "report run must be correct");
+            if n == 1 {
+                single = r.app.secs;
+            }
+            rows.push(finish_row(
+                "Quicksort",
+                name,
+                n,
+                &r.app,
+                single,
+                &tracer,
+                paper_table2(name, n),
+            ));
+        }
+    }
+
+    for (variant, name) in [(WaterVariant::Lock, "Lock"), (WaterVariant::Hybrid, "Hybrid")] {
+        let mut single = 0.0;
+        for n in ns.clone() {
+            let tracer = Tracer::metrics_only(n);
+            let mut cfg = if opts.quick {
+                // Test-scale workload, but the real cost model: the whole
+                // point of the report is cost attribution, and
+                // `fast_test` zeroes every protocol cost.
+                let mut cfg = WaterConfig::test(n, variant);
+                cfg.core = CoreConfig::osdi94();
+                cfg
+            } else {
+                WaterConfig::paper(n, variant)
+            };
+            cfg.trace = Some(tracer.clone());
+            let r = try_run_water(&cfg)?;
+            if n == 1 {
+                single = r.app.secs;
+            }
+            rows.push(finish_row("Water", name, n, &r.app, single, &tracer, paper_table3(name, n)));
+        }
+    }
+
+    {
+        let mut single = 0.0;
+        for n in ns.clone() {
+            let tracer = Tracer::metrics_only(n);
+            let mut cfg = if opts.quick {
+                // Test-scale workload, but the real cost model: the whole
+                // point of the report is cost attribution, and
+                // `fast_test` zeroes every protocol cost.
+                let mut cfg = SorConfig::test(n);
+                cfg.core = CoreConfig::osdi94();
+                cfg
+            } else {
+                SorConfig::paper_scale(n)
+            };
+            cfg.trace = Some(tracer.clone());
+            let r = try_run_sor(&cfg)?;
+            if n == 1 {
+                single = r.app.secs;
+            }
+            rows.push(finish_row("SOR", "-", n, &r.app, single, &tracer, None));
+        }
+    }
+
+    Ok(rows)
+}
+
+/// Renders the rows as the `BENCH_paper.json` document (valid JSON; all
+/// strings are fixed ASCII labels, so no escaping is required).
+#[must_use]
+pub fn to_json(rows: &[ReportRow], opts: &ReportOptions) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"generated_by\": \"cargo run --release --example report\",\n");
+    out.push_str(&format!("  \"quick_mode\": {},\n", opts.quick));
+    out.push_str(&format!("  \"max_nodes\": {},\n", opts.max_nodes));
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"app\": \"{}\", \"variant\": \"{}\", \"n\": {}, \"time_s\": {:.4}, \
+             \"speedup\": {:.3}, \"messages\": {}, \"avg_bytes\": {}, \"utilization\": {:.4},\n",
+            r.app, r.variant, r.n, r.secs, r.speedup, r.messages, r.avg_bytes, r.util
+        ));
+        out.push_str(&format!(
+            "     \"fetch_diffs\": {}, \"fetch_pages\": {}, \"wait_lock_ns\": {}, \
+             \"wait_barrier_ns\": {},\n",
+            r.fetch_diffs, r.fetch_pages, r.wait_lock_ns, r.wait_barrier_ns
+        ));
+        out.push_str("     \"classes\": [");
+        for (j, c) in r.classes.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{{\"class\": \"{}\", \"sent\": {}, \"dispatched\": {}, \"bytes\": {}, \
+                 \"cost_ns\": {}, \"mean_latency_ns\": {}}}",
+                c.class, c.sent, c.dispatched, c.bytes, c.cost_ns, c.mean_latency_ns
+            ));
+        }
+        out.push_str("],\n");
+        match &r.paper {
+            Some(p) => out.push_str(&format!(
+                "     \"paper\": {{\"time_s\": {:.1}, \"speedup\": {:.2}, \"messages\": {}, \
+                 \"avg_bytes\": {}, \"utilization\": {:.2}}}}}",
+                p.time_s, p.speedup, p.messages, p.avg_bytes, p.util
+            )),
+            None => out.push_str("     \"paper\": null}"),
+        }
+        out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Renders the rows as a Markdown report: one summary table in the
+/// paper's column layout, then the per-class cost attribution for the
+/// largest cluster size of every (application, variant).
+#[must_use]
+pub fn to_markdown(rows: &[ReportRow]) -> String {
+    let mut out = String::from("## Paper tables, regenerated\n\n");
+    out.push_str(
+        "| App | Version | N | Time(s) | Speedup | Msgs | Avg(B) | Util | paper T(s) | paper spd |\n\
+         |---|---|--:|--:|--:|--:|--:|--:|--:|--:|\n",
+    );
+    for r in rows {
+        let (pt, ps) = r.paper.as_ref().map_or(("-".into(), "-".into()), |p| {
+            (format!("{:.1}", p.time_s), format!("{:.2}", p.speedup))
+        });
+        out.push_str(&format!(
+            "| {} | {} | {} | {:.2} | {:.2} | {} | {} | {:.1}% | {} | {} |\n",
+            r.app,
+            r.variant,
+            r.n,
+            r.secs,
+            r.speedup,
+            r.messages,
+            r.avg_bytes,
+            r.util * 100.0,
+            pt,
+            ps
+        ));
+    }
+    out.push_str("\n## Per-message-class cost attribution (largest cluster)\n\n");
+    out.push_str(
+        "| App | Version | Class | Sent | Bytes | Cost(ms) | Mean latency(us) |\n\
+         |---|---|---|--:|--:|--:|--:|\n",
+    );
+    let max_n = rows.iter().map(|r| r.n).max().unwrap_or(0);
+    for r in rows.iter().filter(|r| r.n == max_n) {
+        for c in &r.classes {
+            out.push_str(&format!(
+                "| {} | {} | {} | {} | {} | {:.3} | {:.1} |\n",
+                r.app,
+                r.variant,
+                c.class,
+                c.sent,
+                c.bytes,
+                c.cost_ns as f64 / 1e6,
+                c.mean_latency_ns as f64 / 1e3
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 2-node quick report end to end: every cell runs, the JSON is
+    /// valid (checked with carlos-trace's own parser), and the class
+    /// ledgers are populated and self-consistent.
+    #[test]
+    fn quick_report_rows_and_json_are_consistent() {
+        let opts = ReportOptions {
+            quick: true,
+            max_nodes: 2,
+        };
+        let rows = run_report(&opts).expect("quick report runs clean");
+        // 7 (app, variant) groups × 2 cluster sizes.
+        assert_eq!(rows.len(), 14);
+        for r in &rows {
+            assert!(r.secs > 0.0, "{}/{} has zero elapsed", r.app, r.variant);
+            if r.n > 1 {
+                assert!(r.messages > 0, "{}/{} sent nothing", r.app, r.variant);
+                let sent: u64 = r.classes.iter().map(|c| c.sent).sum();
+                let dispatched: u64 = r.classes.iter().map(|c| c.dispatched).sum();
+                assert!(sent > 0);
+                assert_eq!(sent, dispatched, "{}/{} lost messages", r.app, r.variant);
+                assert!(
+                    r.classes.iter().any(|c| c.cost_ns > 0),
+                    "{}/{} attributed no protocol cost",
+                    r.app,
+                    r.variant
+                );
+            }
+        }
+        let json = to_json(&rows, &opts);
+        let doc = carlos_trace::json::parse(&json).expect("report JSON parses");
+        let parsed = doc
+            .get("rows")
+            .and_then(carlos_trace::JsonValue::as_array)
+            .expect("rows array");
+        assert_eq!(parsed.len(), rows.len());
+        let md = to_markdown(&rows);
+        assert!(md.contains("| TSP |") && md.contains("| SOR |"));
+    }
+}

@@ -27,7 +27,7 @@ use crate::{
     annotation::Annotation,
     config::CoreConfig,
     message::{AcceptedMsg, Consistency, Message},
-    probe::CoreProbe,
+    probe::{CoreProbe, CostPhase, FetchKind, MsgClass},
 };
 
 /// First handler id reserved for the system protocol; user handlers must
@@ -102,6 +102,18 @@ impl Core {
         }
     }
 
+    /// Reports a protocol-work charge to the probe before it lands, so the
+    /// probe's `at` marks the start of the charged work. Free when no probe
+    /// is installed or nothing is charged.
+    fn probe_cost(&self, class: MsgClass, phase: CostPhase, ns: Ns) {
+        if ns == 0 {
+            return;
+        }
+        if let Some(p) = &self.probe {
+            p.protocol_cost(self.node(), class, phase, ns, self.ctx.now());
+        }
+    }
+
     /// Encodes and transmits `msg` to `dst`, charging send-side costs.
     fn transmit(&mut self, dst: NodeId, msg: &Message) {
         let mut cost = self.cfg.effective_msg_send();
@@ -118,6 +130,8 @@ impl Core {
                 }
             }
         }
+        let class = MsgClass::of(msg.annotation);
+        self.probe_cost(class, CostPhase::Send, cost);
         self.charge(cost);
         self.ctx.count("carlos.sent", 1);
         match msg.annotation {
@@ -125,6 +139,9 @@ impl Core {
             Annotation::Request => self.ctx.count("carlos.sent.request", 1),
             Annotation::Release => self.ctx.count("carlos.sent.release", 1),
             Annotation::ReleaseNt => self.ctx.count("carlos.sent.release_nt", 1),
+        }
+        if let Some(p) = &self.probe {
+            p.msg_sent(self.node(), dst, class, msg.handler, self.ctx.now());
         }
         let pad = self.cfg.wire_header_pad;
         self.transport.send(dst, msg.to_framed(pad));
@@ -213,6 +230,9 @@ impl Core {
             consistency: Consistency::None,
         };
         self.ctx.count("carlos.sent.system", 1);
+        if let Some(p) = &self.probe {
+            p.msg_sent(node, dst, MsgClass::System, handler, self.ctx.now());
+        }
         let pad = self.cfg.wire_header_pad;
         self.transport.send(dst, msg.to_framed(pad));
     }
@@ -225,6 +245,7 @@ impl Core {
     /// buffer instead of being cloned; records are applied by reference.
     fn do_accept(&mut self, msg: &mut Message) -> bool {
         let origin = msg.origin;
+        let class = MsgClass::of(msg.annotation);
         match &mut msg.consistency {
             Consistency::None | Consistency::Request { .. } => true,
             Consistency::Release {
@@ -239,6 +260,7 @@ impl Core {
                 let cost = self.cfg.release_accept
                     + self.cfg.per_record * records.len() as u64
                     + self.cfg.per_notice * notices as u64;
+                self.probe_cost(class, CostPhase::Accept, cost);
                 self.charge(cost);
                 self.ctx.count("carlos.notices_applied", notices as u64);
                 self.engine.apply_records(records);
@@ -263,6 +285,7 @@ impl Core {
                         pages.insert(d.page);
                         self.pending_diffs.entry(d.page).or_default().push(d);
                     }
+                    self.probe_cost(class, CostPhase::DiffApply, apply_cost);
                     self.charge(apply_cost);
                     self.ctx.count("carlos.update_diffs_received", 1);
                     if complete {
@@ -343,14 +366,18 @@ impl Core {
                 let records = self.engine.serve_diffs(page, after, through);
                 let created = self.engine.stats().diffs_created - before;
                 let page_bytes = self.engine.config().page_size;
-                self.charge(self.cfg.diff_create_cost(page_bytes) * created);
+                let create_cost = self.cfg.diff_create_cost(page_bytes) * created;
+                self.probe_cost(MsgClass::System, CostPhase::DiffCreate, create_cost);
+                self.charge(create_cost);
                 self.ctx.count("carlos.diff_requests_served", 1);
                 // TreadMarks heuristic: when the requested diff chain is
                 // bigger than the page itself, ship the whole page instead.
                 let total: usize = records.iter().map(|r| r.diff.modified_bytes()).sum();
                 if total > page_bytes && !force_diffs {
                     let (data, applied) = self.engine.serve_page(page);
-                    self.charge(self.cfg.page_copy_cost(data.len()));
+                    let copy_cost = self.cfg.page_copy_cost(data.len());
+                    self.probe_cost(MsgClass::System, CostPhase::PageCopy, copy_cost);
+                    self.charge(copy_cost);
                     self.ctx.count("carlos.page_instead_of_diffs", 1);
                     let mut body = Encoder::new();
                     body.put_u32(page);
@@ -372,16 +399,23 @@ impl Core {
                 for r in &records {
                     cost += self.cfg.diff_apply_cost(r.diff.modified_bytes());
                 }
+                self.probe_cost(MsgClass::System, CostPhase::DiffApply, cost);
                 self.charge(cost);
                 self.pending_diffs.entry(page).or_default().extend(records);
-                self.inflight.remove(&(page, msg.src));
+                if self.inflight.remove(&(page, msg.src)) {
+                    if let Some(p) = &self.probe {
+                        p.fetch_finished(self.node(), msg.src, page, self.ctx.now());
+                    }
+                }
                 self.maybe_apply_buffered(page);
             }
             SYS_PAGE_REQ => {
                 let mut dec = Decoder::new(&msg.body);
                 let page = dec.get_u32().expect("page request id");
                 let (data, applied) = self.engine.serve_page(page);
-                self.charge(self.cfg.page_copy_cost(data.len()));
+                let copy_cost = self.cfg.page_copy_cost(data.len());
+                self.probe_cost(MsgClass::System, CostPhase::PageCopy, copy_cost);
+                self.charge(copy_cost);
                 self.ctx.count("carlos.page_requests_served", 1);
                 let mut body = Encoder::new();
                 body.put_u32(page);
@@ -394,7 +428,9 @@ impl Core {
                 let page = dec.get_u32().expect("page reply id");
                 let data = dec.get_bytes().expect("page data");
                 let applied = Vc::decode(&mut dec).expect("page applied vc");
-                self.charge(self.cfg.page_copy_cost(data.len()));
+                let copy_cost = self.cfg.page_copy_cost(data.len());
+                self.probe_cost(MsgClass::System, CostPhase::PageCopy, copy_cost);
+                self.charge(copy_cost);
                 if !self.engine.install_page(page, data, applied) {
                     // The substituted page was stale relative to our copy:
                     // retries for this (page, server) must use plain diffs,
@@ -402,7 +438,11 @@ impl Core {
                     self.force_diffs.insert((page, msg.src));
                     self.ctx.count("carlos.page_substitute_rejected", 1);
                 }
-                self.inflight.remove(&(page, msg.src));
+                if self.inflight.remove(&(page, msg.src)) {
+                    if let Some(p) = &self.probe {
+                        p.fetch_finished(self.node(), msg.src, page, self.ctx.now());
+                    }
+                }
                 self.maybe_apply_buffered(page);
             }
             SYS_IVAL_REQ => {
@@ -421,7 +461,9 @@ impl Core {
                     .get_seq(IntervalRecord::decode)
                     .expect("ival reply records");
                 let notices: usize = records.iter().map(|r| r.pages.len()).sum();
-                self.charge(self.cfg.per_notice * notices as u64);
+                let apply_cost = self.cfg.per_notice * notices as u64;
+                self.probe_cost(MsgClass::System, CostPhase::NoticeApply, apply_cost);
+                self.charge(apply_cost);
                 self.engine.apply_records(&records);
                 self.retry_pending_accepts();
             }
@@ -530,6 +572,7 @@ impl Core {
         if msg.annotation.carries_timestamp() {
             cost += self.cfg.vt_recv;
         }
+        self.probe_cost(MsgClass::of(msg.annotation), CostPhase::Recv, cost);
         self.charge(cost);
         match &msg.consistency {
             Consistency::None => {}
@@ -770,6 +813,21 @@ impl Runtime {
         self.core.engine.set_observer(obs);
     }
 
+    /// Installs a passive [`carlos_sim::TransportObserver`] on the
+    /// underlying transport endpoint (per-frame send/deliver/retransmit
+    /// events, used by trace layers to build causal flows).
+    pub fn set_transport_observer(&mut self, obs: std::sync::Arc<dyn carlos_sim::TransportObserver>) {
+        self.core.transport.set_observer(obs);
+    }
+
+    /// The installed [`CoreProbe`], if any. Layers above the runtime (the
+    /// sync library) clone this handle to report their own events — e.g.
+    /// [`CoreProbe::sync_wait`] spans — through the same probe.
+    #[must_use]
+    pub fn probe(&self) -> Option<std::sync::Arc<dyn CoreProbe>> {
+        self.core.probe.clone()
+    }
+
     /// This node's id.
     #[must_use]
     pub fn node_id(&self) -> NodeId {
@@ -870,6 +928,21 @@ impl Runtime {
                 return;
             }
         };
+        if let Some(p) = &self.core.probe {
+            let class = if msg.handler >= SYS_HANDLER_BASE {
+                MsgClass::System
+            } else {
+                MsgClass::of(msg.annotation)
+            };
+            p.msg_dispatched(
+                self.core.node(),
+                src,
+                class,
+                msg.handler,
+                bytes.len(),
+                self.core.ctx.now(),
+            );
+        }
         if msg.handler >= SYS_HANDLER_BASE {
             self.core.handle_sys(msg);
             return;
@@ -1108,6 +1181,15 @@ impl Runtime {
                     waiting.push((page, to));
                     if self.core.inflight.insert((page, to)) {
                         self.core.ctx.count("carlos.diff_requests", 1);
+                        if let Some(p) = &self.core.probe {
+                            p.fetch_started(
+                                self.core.node(),
+                                to,
+                                page,
+                                FetchKind::Diffs,
+                                self.core.ctx.now(),
+                            );
+                        }
                         let force = self.core.force_diffs.contains(&(page, to));
                         let mut body = Encoder::new();
                         body.put_u32(page);
@@ -1121,6 +1203,15 @@ impl Runtime {
                     waiting.push((page, to));
                     if self.core.inflight.insert((page, to)) {
                         self.core.ctx.count("carlos.page_requests", 1);
+                        if let Some(p) = &self.core.probe {
+                            p.fetch_started(
+                                self.core.node(),
+                                to,
+                                page,
+                                FetchKind::Page,
+                                self.core.ctx.now(),
+                            );
+                        }
                         let mut body = Encoder::new();
                         body.put_u32(page);
                         self.core.send_sys(to, SYS_PAGE_REQ, body.finish_vec());

@@ -36,6 +36,34 @@ pub trait WireObserver: Send + Sync {
         delivered_at: Ns,
         bytes: usize,
     );
+
+    /// A datagram from `src` was handed to the wire toward `dst` at `at`
+    /// (it may still be dropped). Fired from the sender's context, under
+    /// the kernel lock. Default: ignored.
+    fn frame_sent(&self, src: NodeId, dst: NodeId, at: Ns, payload: &Bytes) {
+        let _ = (src, dst, at, payload);
+    }
+
+    /// A datagram from `src` toward `dst` was dropped by loss injection
+    /// (uniform, burst, or partition) at send time. Default: ignored.
+    fn frame_dropped(&self, src: NodeId, dst: NodeId, at: Ns, payload: &Bytes) {
+        let _ = (src, dst, at, payload);
+    }
+
+    /// Payload-carrying companion to [`WireObserver::frame_delivered`],
+    /// invoked immediately after it with the same frame. Split out so
+    /// observers that only need sizes (the checker) keep their narrower
+    /// signature. Default: ignored.
+    fn frame_delivered_payload(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        sent_at: Ns,
+        delivered_at: Ns,
+        payload: &Bytes,
+    ) {
+        let _ = (src, dst, sent_at, delivered_at, payload);
+    }
 }
 
 /// A datagram as seen by a receiving node.
@@ -300,6 +328,13 @@ impl Cluster {
                                 dgram.sent_at,
                                 k.now,
                                 dgram.payload.len(),
+                            );
+                            obs.frame_delivered_payload(
+                                dgram.src,
+                                dst,
+                                dgram.sent_at,
+                                k.now,
+                                &dgram.payload,
                             );
                         }
                     }
@@ -633,12 +668,18 @@ impl NodeCtx {
         }
         k.net.messages += 1;
         k.net.payload_bytes += dgram.payload.len() as u64;
+        k.net.classes.note(&dgram.payload);
         k.nodes[self.node as usize].counters.add("net.sent", 1);
         k.nodes[self.node as usize]
             .counters
             .add("net.sent_bytes", dgram.payload.len() as u64);
+        if let Some(obs) = &k.observer {
+            obs.frame_sent(self.node, dst, now, &dgram.payload);
+        }
         if let Some(deliver_at) = k.wire_transmit(self.node, dst, dgram.payload.len(), now) {
             k.push_event(deliver_at, EvKind::Deliver { dst, dgram });
+        } else if let Some(obs) = &k.observer {
+            obs.frame_dropped(self.node, dst, now, &dgram.payload);
         }
     }
 

@@ -58,6 +58,6 @@ pub use cluster::{Cluster, Datagram, NodeCtx, SimReport, WireObserver};
 pub use config::SimConfig;
 pub use error::{abort, AbortInfo, BlockedProc, SimError};
 pub use fault::{FaultPlan, FaultSpec, GeParams};
-pub use stats::{Bucket, Counters, NetStats, TimeBuckets};
+pub use stats::{Bucket, ClassStats, Counters, FrameClasses, NetStats, TimeBuckets};
 pub use time::{NodeId, Ns};
-pub use transport::{AckMode, ArqTuning, FrameBuf, Transport};
+pub use transport::{AckMode, ArqTuning, FrameBuf, Transport, TransportObserver};

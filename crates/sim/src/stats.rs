@@ -112,6 +112,93 @@ impl Counters {
     }
 }
 
+/// Sent/byte tally for one wire frame class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClassStats {
+    /// Frames of this class handed to the wire.
+    pub sent: u64,
+    /// Sum of payload bytes over those frames.
+    pub bytes: u64,
+}
+
+impl ClassStats {
+    fn note(&mut self, bytes: usize) {
+        self.sent += 1;
+        self.bytes += bytes as u64;
+    }
+
+    /// Average payload size in bytes (0 when no frames).
+    #[must_use]
+    pub fn avg_size(&self) -> u64 {
+        self.bytes.checked_div(self.sent).unwrap_or(0)
+    }
+}
+
+/// Per-frame-class breakdown of everything handed to the wire, keyed by the
+/// transport header's kind byte. Raw datagrams shorter than a transport
+/// header (and unknown kinds) land in `other`. Every wire frame is counted
+/// in exactly one class, so the class sums reconcile with
+/// [`NetStats::messages`] / [`NetStats::payload_bytes`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FrameClasses {
+    /// Transport DATA frames (application and protocol payloads).
+    pub data: ClassStats,
+    /// Transport cumulative ACK frames.
+    pub ack: ClassStats,
+    /// Transport liveness PING frames.
+    pub ping: ClassStats,
+    /// Transport liveness PONG frames.
+    pub pong: ClassStats,
+    /// Frames that carry no recognizable transport header.
+    pub other: ClassStats,
+}
+
+impl FrameClasses {
+    /// Classifies `payload` by its transport kind byte and tallies it.
+    pub(crate) fn note(&mut self, payload: &[u8]) {
+        // Mirrors the transport framing: 1 kind byte + 4-byte LE sequence.
+        // Anything shorter (or with an unknown kind) is not transport
+        // traffic and is classified `other`.
+        let class = if payload.len() >= 5 {
+            match payload[0] {
+                0 => &mut self.data,
+                1 => &mut self.ack,
+                2 => &mut self.ping,
+                3 => &mut self.pong,
+                _ => &mut self.other,
+            }
+        } else {
+            &mut self.other
+        };
+        class.note(payload.len());
+    }
+
+    /// Total frames across all classes (must equal [`NetStats::messages`]).
+    #[must_use]
+    pub fn total_sent(&self) -> u64 {
+        self.data.sent + self.ack.sent + self.ping.sent + self.pong.sent + self.other.sent
+    }
+
+    /// Total payload bytes across all classes (must equal
+    /// [`NetStats::payload_bytes`]).
+    #[must_use]
+    pub fn total_bytes(&self) -> u64 {
+        self.data.bytes + self.ack.bytes + self.ping.bytes + self.pong.bytes + self.other.bytes
+    }
+
+    /// Iterates `(class name, stats)` in display order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, ClassStats)> {
+        [
+            ("data", self.data),
+            ("ack", self.ack),
+            ("ping", self.ping),
+            ("pong", self.pong),
+            ("other", self.other),
+        ]
+        .into_iter()
+    }
+}
+
 /// Network-level statistics for a run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct NetStats {
@@ -144,13 +231,26 @@ pub struct NetStats {
     /// Datagrams still queued for delivery when the run ended (sent, not
     /// dropped, not yet in any mailbox).
     pub in_flight: u64,
+    /// Per-frame-class breakdown of `messages` / `payload_bytes`.
+    pub classes: FrameClasses,
 }
 
 impl NetStats {
     /// Average datagram payload size in bytes (0 when no messages).
+    ///
+    /// Mixes every frame class: in ARQ mode the 5-byte ACK/PING/PONG
+    /// control frames drag this figure well below the data-frame average.
+    /// Use [`NetStats::avg_data_size`] for the paper-comparable number.
     #[must_use]
     pub fn avg_size(&self) -> u64 {
         self.payload_bytes.checked_div(self.messages).unwrap_or(0)
+    }
+
+    /// Average payload size of DATA frames only, which is what the paper's
+    /// byte-count tables measure (control frames excluded).
+    #[must_use]
+    pub fn avg_data_size(&self) -> u64 {
+        self.classes.data.avg_size()
     }
 
     /// Network utilization over `elapsed`, computed the paper's way:
@@ -219,6 +319,39 @@ mod tests {
         a.merge(&b);
         let all: Vec<_> = a.iter().collect();
         assert_eq!(all, vec![("x", 3), ("y", 3)]);
+    }
+
+    #[test]
+    fn frame_classes_classify_and_reconcile() {
+        let mut c = FrameClasses::default();
+        c.note(&[0, 0, 0, 0, 0, 9, 9, 9]); // DATA, 8 bytes
+        c.note(&[1, 0, 0, 0, 0]); // ACK, 5 bytes
+        c.note(&[2, 0, 0, 0, 0]); // PING
+        c.note(&[3, 0, 0, 0, 0]); // PONG
+        c.note(&[7, 0, 0, 0, 0]); // unknown kind -> other
+        c.note(&[0, 1, 2]); // too short for a header -> other
+        assert_eq!(c.data.sent, 1);
+        assert_eq!(c.data.bytes, 8);
+        assert_eq!(c.ack.sent, 1);
+        assert_eq!(c.ping.sent, 1);
+        assert_eq!(c.pong.sent, 1);
+        assert_eq!(c.other.sent, 2);
+        assert_eq!(c.other.bytes, 8);
+        assert_eq!(c.total_sent(), 6);
+        assert_eq!(c.total_bytes(), 8 + 5 + 5 + 5 + 5 + 3);
+        assert_eq!(c.iter().count(), 5);
+    }
+
+    #[test]
+    fn avg_data_size_excludes_control_frames() {
+        let mut n = NetStats::default();
+        n.classes.note(&[0, 0, 0, 0, 0, 1, 2, 3, 4, 5]); // 10-byte DATA
+        n.classes.note(&[1, 0, 0, 0, 0]); // 5-byte ACK
+        n.messages = 2;
+        n.payload_bytes = 15;
+        assert_eq!(n.avg_size(), 7); // polluted by the ACK
+        assert_eq!(n.avg_data_size(), 10); // what the paper counts
+        assert_eq!(ClassStats::default().avg_size(), 0);
     }
 
     #[test]

@@ -16,7 +16,10 @@
 //! - [`AckMode::Arq`] — the full sliding-window protocol, exercised by the
 //!   loss-injection tests.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::{
+    collections::{BTreeMap, VecDeque},
+    sync::Arc,
+};
 
 use bytes::{BufMut, Bytes, BytesMut};
 
@@ -26,6 +29,46 @@ use crate::{
     cluster::NodeCtx,
     time::{NodeId, Ns},
 };
+
+/// Passive observer of one node's transport endpoint (trace
+/// instrumentation).
+///
+/// Every method is invoked synchronously on the owning node's proc, charges
+/// no virtual time, and has a no-op default, so an endpoint with an observer
+/// installed behaves bit-identically to one without. `bytes` is always the
+/// sealed wire-frame length (header included). Sequence numbers are the
+/// per-(sender, receiver) transport sequence, which together with the node
+/// pair uniquely identifies a data frame for the lifetime of a run — trace
+/// layers use `(src, dst, seq)` as the causal flow id.
+pub trait TransportObserver: Send + Sync {
+    /// A data frame was sealed with `seq` and handed to the wire (first
+    /// transmission; includes loopback frames, which skip the wire).
+    fn data_sent(&self, node: NodeId, dst: NodeId, seq: u32, bytes: usize, at: Ns) {
+        let _ = (node, dst, seq, bytes, at);
+    }
+
+    /// A message could not enter the ARQ window and was queued unsealed;
+    /// its `data_sent` fires later, when acknowledgements open the window.
+    fn data_queued(&self, node: NodeId, dst: NodeId, bytes: usize, at: Ns) {
+        let _ = (node, dst, bytes, at);
+    }
+
+    /// A go-back-N timeout retransmitted the already-sealed frame `seq`.
+    fn data_retransmitted(&self, node: NodeId, dst: NodeId, seq: u32, bytes: usize, at: Ns) {
+        let _ = (node, dst, seq, bytes, at);
+    }
+
+    /// Frame `seq` from `src` was released to the application in order
+    /// (`bytes` is the body length, header stripped).
+    fn data_delivered(&self, node: NodeId, src: NodeId, seq: u32, bytes: usize, at: Ns) {
+        let _ = (node, src, seq, bytes, at);
+    }
+
+    /// A duplicate of an already-delivered frame arrived and was suppressed.
+    fn data_duplicate(&self, node: NodeId, src: NodeId, seq: u32, at: Ns) {
+        let _ = (node, src, seq, at);
+    }
+}
 
 /// Acknowledgement strategy for a [`Transport`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -197,6 +240,7 @@ pub struct Transport {
     tx: Vec<PeerTx>,
     rx: Vec<PeerRx>,
     ready: VecDeque<(NodeId, Bytes)>,
+    obs: Option<Arc<dyn TransportObserver>>,
 }
 
 impl Transport {
@@ -211,7 +255,13 @@ impl Transport {
             tx: (0..n).map(|_| PeerTx::default()).collect(),
             rx: (0..n).map(|_| PeerRx::default()).collect(),
             ready: VecDeque::new(),
+            obs: None,
         }
+    }
+
+    /// Installs a passive [`TransportObserver`] on this endpoint.
+    pub fn set_observer(&mut self, obs: Arc<dyn TransportObserver>) {
+        self.obs = Some(obs);
     }
 
     /// The node context this transport runs on.
@@ -293,14 +343,22 @@ impl Transport {
             // frames in the ARQ window would retransmit them forever.
             let seq = self.tx[dst as usize].next_seq;
             self.tx[dst as usize].next_seq += 1;
-            self.ctx.send_datagram(dst, msg.seal(KIND_DATA, seq));
+            let sealed = msg.seal(KIND_DATA, seq);
+            if let Some(obs) = &self.obs {
+                obs.data_sent(dst, dst, seq, sealed.len(), self.ctx.now());
+            }
+            self.ctx.send_datagram(dst, sealed);
             return;
         }
         match self.mode {
             AckMode::Implicit => {
                 let seq = self.tx[dst as usize].next_seq;
                 self.tx[dst as usize].next_seq += 1;
-                self.ctx.send_datagram(dst, msg.seal(KIND_DATA, seq));
+                let sealed = msg.seal(KIND_DATA, seq);
+                if let Some(obs) = &self.obs {
+                    obs.data_sent(self.ctx.node_id(), dst, seq, sealed.len(), self.ctx.now());
+                }
+                self.ctx.send_datagram(dst, sealed);
             }
             AckMode::Arq { window, rto } => {
                 let peer = &mut self.tx[dst as usize];
@@ -312,8 +370,14 @@ impl Transport {
                     if peer.rto_at.is_none() {
                         peer.rto_at = Some(self.ctx.now() + rto);
                     }
+                    if let Some(obs) = &self.obs {
+                        obs.data_sent(self.ctx.node_id(), dst, seq, sealed.len(), self.ctx.now());
+                    }
                     self.ctx.send_datagram(dst, sealed);
                 } else {
+                    if let Some(obs) = &self.obs {
+                        obs.data_queued(self.ctx.node_id(), dst, msg.0.len(), self.ctx.now());
+                    }
                     peer.queued.push_back(msg);
                 }
             }
@@ -464,10 +528,18 @@ impl Transport {
             // continues even once the peer is flagged down — at the capped
             // backoff interval it doubles as a cheap reprobe, so a healed
             // partition recovers without explicit reconnection.
-            let frames: Vec<Bytes> =
-                self.tx[dst].unacked.iter().map(|(_, f)| f.clone()).collect();
-            for payload in frames {
+            let frames: Vec<(u32, Bytes)> = self.tx[dst].unacked.iter().cloned().collect();
+            for (seq, payload) in frames {
                 self.ctx.count("transport.retransmits", 1);
+                if let Some(obs) = &self.obs {
+                    obs.data_retransmitted(
+                        self.ctx.node_id(),
+                        dst as NodeId,
+                        seq,
+                        payload.len(),
+                        self.ctx.now(),
+                    );
+                }
                 self.ctx.send_datagram(dst as NodeId, payload);
             }
             if self.tx[dst].unacked.is_empty() {
@@ -527,14 +599,24 @@ impl Transport {
     }
 
     fn handle_data(&mut self, src: NodeId, seq: u32, body: Bytes) {
+        let me = self.ctx.node_id();
         let rx = &mut self.rx[src as usize];
         if seq < rx.next_seq {
             self.ctx.count("transport.duplicates", 1);
+            if let Some(obs) = &self.obs {
+                obs.data_duplicate(me, src, seq, self.ctx.now());
+            }
         } else if seq == rx.next_seq {
             rx.next_seq += 1;
+            if let Some(obs) = &self.obs {
+                obs.data_delivered(me, src, seq, body.len(), self.ctx.now());
+            }
             self.ready.push_back((src, body));
             // Drain any buffered successors.
             while let Some(b) = rx.reorder.remove(&rx.next_seq) {
+                if let Some(obs) = &self.obs {
+                    obs.data_delivered(me, src, rx.next_seq, b.len(), self.ctx.now());
+                }
                 rx.next_seq += 1;
                 self.ready.push_back((src, b));
             }
@@ -583,6 +665,15 @@ impl Transport {
             self.tx[src as usize].rto_at = Some(self.ctx.now() + rto);
         }
         for sealed in to_send {
+            if let Some(obs) = &self.obs {
+                // The frame's sequence number sits in its sealed header.
+                let seq = u32::from_le_bytes(
+                    sealed[1..HEADER_BYTES]
+                        .try_into()
+                        .expect("header slice is four bytes"),
+                );
+                obs.data_sent(self.ctx.node_id(), src, seq, sealed.len(), self.ctx.now());
+            }
             self.ctx.send_datagram(src, sealed);
         }
     }

@@ -385,6 +385,14 @@ fn netstats_conserve_every_datagram_under_chaos() {
         n.delivered + n.dropped + (n.dropped_crash - n.purged_crash) + n.in_flight,
         "datagram conservation violated: {n:?}"
     );
+    // Per-class accounting partitions the same ledger: every datagram and
+    // every payload byte lands in exactly one message class.
+    assert_eq!(n.messages, n.classes.total_sent(), "class send totals: {n:?}");
+    assert_eq!(
+        n.payload_bytes,
+        n.classes.total_bytes(),
+        "class byte totals: {n:?}"
+    );
 }
 
 /// On a quiet, fault-free run the ledger is trivial: everything handed to
@@ -405,6 +413,12 @@ fn netstats_conservation_without_faults() {
     assert_eq!(n.dropped, 0);
     assert_eq!(n.dropped_crash, 0);
     assert_eq!(n.purged_crash, 0);
+    // Raw 4-byte datagrams are shorter than a transport header, so the
+    // classifier files every one of them (and every byte) under `other`.
+    assert_eq!(n.classes.other.sent, 20);
+    assert_eq!(n.classes.other.bytes, 80);
+    assert_eq!(n.messages, n.classes.total_sent());
+    assert_eq!(n.payload_bytes, n.classes.total_bytes());
 }
 
 proptest! {

@@ -1,0 +1,346 @@
+//! Minimal hand-rolled JSON parser.
+//!
+//! Exists so trace exports can be validated and post-processed without
+//! pulling a serde dependency into the workspace. Supports the full JSON
+//! grammar the exporters emit: objects, arrays, strings (with the escape
+//! set `\" \\ \/ \n \r \t \b \f \uXXXX`), numbers, booleans, and null.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed JSON value. Object members are kept in a `BTreeMap`, so member
+/// order is normalised (sufficient for the exporters, which never rely on
+/// duplicate or ordered keys).
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number, held as f64.
+    Number(f64),
+    /// A string literal, unescaped.
+    String(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object.
+    Object(BTreeMap<String, JsonValue>),
+}
+
+impl JsonValue {
+    /// The object member `key`, if this is an object that has it.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The object map, if this is an object.
+    #[must_use]
+    pub fn as_object(&self) -> Option<&BTreeMap<String, JsonValue>> {
+        match self {
+            JsonValue::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+/// A parse failure: what went wrong and the byte offset where.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Human-readable description.
+    pub msg: String,
+    /// Byte offset into the input.
+    pub at: usize,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error at byte {}: {}", self.at, self.msg)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Parses `input` as a single JSON document (trailing whitespace allowed).
+pub fn parse(input: &str) -> Result<JsonValue, JsonError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing data after document"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: &str) -> JsonError {
+        JsonError {
+            msg: msg.to_owned(),
+            at: self.pos,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: JsonValue) -> Result<JsonValue, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected '{word}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, JsonError> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(JsonValue::String(self.string()?)),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, JsonError> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            map.insert(key, val);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(map));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("bad escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            let cp = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not emitted by our
+                            // exporters; map lone surrogates to U+FFFD.
+                            out.push(char::from_u32(cp).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                Some(c) if c < 0x20 => return Err(self.err("control char in string")),
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is &str, so always valid).
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self
+                        .bytes
+                        .get(self.pos)
+                        .is_some_and(|b| b & 0xc0 == 0x80)
+                    {
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .expect("input was valid UTF-8"),
+                    );
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("digits are ASCII");
+        text.parse::<f64>()
+            .map(JsonValue::Number)
+            .map_err(|_| self.err("invalid number"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(parse("null").unwrap(), JsonValue::Null);
+        assert_eq!(parse("true").unwrap(), JsonValue::Bool(true));
+        assert_eq!(parse(" false ").unwrap(), JsonValue::Bool(false));
+        assert_eq!(parse("42").unwrap(), JsonValue::Number(42.0));
+        assert_eq!(parse("-3.5e2").unwrap(), JsonValue::Number(-350.0));
+        assert_eq!(
+            parse("\"a\\nb\\u0041\"").unwrap(),
+            JsonValue::String("a\nbA".into())
+        );
+    }
+
+    #[test]
+    fn parses_nested_structures() {
+        let v = parse(r#"{"a":[1,2,{"b":"x"}],"c":{},"d":[]}"#).unwrap();
+        let a = v.get("a").unwrap().as_array().unwrap();
+        assert_eq!(a.len(), 3);
+        assert_eq!(a[2].get("b").unwrap().as_str(), Some("x"));
+        assert_eq!(v.get("c").unwrap().as_object().unwrap().len(), 0);
+        assert_eq!(v.get("d").unwrap().as_array().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in ["", "{", "[1,", "{\"a\":}", "tru", "\"abc", "1 2", "{'a':1}"] {
+            assert!(parse(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn roundtrips_exported_escapes() {
+        let s = "quote \" slash \\ newline \n tab \t low \u{1}";
+        let lit = crate::export::json_string(s);
+        assert_eq!(parse(&lit).unwrap(), JsonValue::String(s.into()));
+    }
+}

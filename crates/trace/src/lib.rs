@@ -1,0 +1,581 @@
+//! Causal event tracing and cost attribution for the CarlOS simulator.
+//!
+//! `carlos-trace` attaches a [`Tracer`] to a simulated cluster and records,
+//! as the run unfolds, a causal picture of every message and every unit of
+//! consistency work:
+//!
+//! - **Causal flows** — every transport data frame is identified by
+//!   `(src, dst, seq)` and threaded from the core's send intent through
+//!   wire transmission, loss, ARQ retransmission, in-order delivery, and
+//!   handler dispatch. No trace id is added to the wire: the id is the
+//!   transport sequence number already in the frame header, so traced runs
+//!   keep bit-identical wire traffic.
+//! - **Spans** — demand fetches (diff/page), lock/barrier/queue waits, and
+//!   every protocol-cost charge become virtual-time spans attributed to a
+//!   node and a message class.
+//! - **A metrics registry** ([`Metrics`]) of deterministic counters and
+//!   virtual-time histograms keyed by message class and protocol phase,
+//!   reproducing the paper's §5.4 microcost accounting (REQUEST−NONE,
+//!   RELEASE−NONE + per-write-notice, ...).
+//!
+//! Recorded data exports as Chrome trace-event JSON (load in
+//! `chrome://tracing` or Perfetto) via [`Tracer::chrome_trace`], as a
+//! causal DOT graph via [`Tracer::dot_graph`], and as metrics JSON via
+//! [`Metrics::to_json`].
+//!
+//! Like `carlos-check`, the tracer is a pure observer: its hooks charge no
+//! virtual time, consume no randomness, and send no messages, so a run
+//! with a tracer installed produces a bit-identical
+//! [`carlos_sim::SimReport`] fingerprint to the same run without one (see
+//! the `tracer_is_invisible_to_the_goldens` test).
+//!
+//! # Usage
+//!
+//! ```no_run
+//! use carlos_trace::Tracer;
+//! # let mut cluster = carlos_sim::Cluster::new(carlos_sim::SimConfig::default(), 2);
+//! let tracer = Tracer::new(2);
+//! tracer.attach(&mut cluster); // wire observer
+//! // ... inside each node closure:
+//! // tracer.install(&mut rt);  // probe + engine + transport observers
+//! let report = cluster.run();
+//! std::fs::write("trace.json", tracer.chrome_trace()).unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod export;
+pub mod json;
+mod metrics;
+
+use std::{collections::BTreeMap, collections::VecDeque, fmt, sync::Arc};
+
+use bytes::Bytes;
+use carlos_core::{CoreProbe, CostPhase, FetchKind, MsgClass, Runtime};
+use carlos_lrc::{EngineObserver, IntervalRecord, Vc};
+use carlos_sim::{Cluster, NodeId, Ns, TransportObserver, WireObserver};
+use parking_lot::Mutex;
+
+pub use json::JsonValue;
+pub use metrics::{Metrics, VtHistogram};
+
+/// Identity of one transport data frame: the causal flow id. Unique per
+/// run because per-(sender, receiver) sequence numbers never repeat.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct FlowKey {
+    /// Sending node.
+    pub src: NodeId,
+    /// Receiving node.
+    pub dst: NodeId,
+    /// Transport sequence number on that (src, dst) pair.
+    pub seq: u32,
+}
+
+/// The life of one message, send intent through handler dispatch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Flow {
+    /// Causal identity.
+    pub key: FlowKey,
+    /// Message class, when the sender's core reported the send (None for
+    /// raw transport traffic).
+    pub class: Option<MsgClass>,
+    /// Destination handler id, when known.
+    pub handler: Option<u32>,
+    /// Sealed wire-frame length in bytes.
+    pub bytes: usize,
+    /// Virtual time of the core's send intent ([`CoreProbe::msg_sent`]).
+    pub msg_at: Option<Ns>,
+    /// First transport transmission time.
+    pub sent_at: Option<Ns>,
+    /// Wire transmission attempts observed (initial + retransmits that
+    /// reached the wire; loopback frames never touch the wire).
+    pub wire_sends: u32,
+    /// Go-back-N retransmissions of this frame.
+    pub retransmits: u32,
+    /// Wire-level drops of this frame (loss injection).
+    pub drops: u32,
+    /// Duplicate deliveries suppressed by the receiver.
+    pub duplicates: u32,
+    /// First arrival in the destination mailbox.
+    pub delivered_at: Option<Ns>,
+    /// Released to the application in order by the receiving transport.
+    pub ready_at: Option<Ns>,
+    /// Decoded and dispatched by the receiving runtime.
+    pub dispatched_at: Option<Ns>,
+}
+
+impl Flow {
+    fn new(key: FlowKey, bytes: usize) -> Self {
+        Self {
+            key,
+            class: None,
+            handler: None,
+            bytes,
+            msg_at: None,
+            sent_at: None,
+            wire_sends: 0,
+            retransmits: 0,
+            drops: 0,
+            duplicates: 0,
+            delivered_at: None,
+            ready_at: None,
+            dispatched_at: None,
+        }
+    }
+
+    /// Display label: class name or "DATA" for raw transport traffic.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        self.class.map_or("DATA", MsgClass::name)
+    }
+}
+
+/// A completed virtual-time span attributed to one node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// Node the span ran on.
+    pub node: NodeId,
+    /// Display name.
+    pub name: String,
+    /// Category: "cost", "fetch", or "sync".
+    pub cat: &'static str,
+    /// Start of the span (virtual ns).
+    pub start: Ns,
+    /// End of the span (virtual ns, `>= start`).
+    pub end: Ns,
+}
+
+/// A point event attributed to one node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InstantEvent {
+    /// Node the event happened on.
+    pub node: NodeId,
+    /// Display name.
+    pub name: String,
+    /// Category: "lrc" or "protocol".
+    pub cat: &'static str,
+    /// Virtual time of the event.
+    pub at: Ns,
+}
+
+/// FIFO correlation queues keyed by a (node, peer) pair.
+type PendingFifo<T> = BTreeMap<(NodeId, NodeId), VecDeque<T>>;
+
+struct State {
+    n_nodes: usize,
+    record_events: bool,
+    flows: BTreeMap<(NodeId, NodeId, u32), Flow>,
+    spans: Vec<Span>,
+    instants: Vec<InstantEvent>,
+    /// Core send intents not yet paired with a transport `data_sent`,
+    /// FIFO per (node, dst). Pairing is exact because the transport
+    /// assigns sequence numbers in the order the core hands messages over.
+    pending_send: PendingFifo<(MsgClass, u32, Ns)>,
+    /// Frames released in order but not yet dispatched, FIFO per
+    /// (node, src).
+    pending_dispatch: PendingFifo<(NodeId, NodeId, u32)>,
+    /// Open sync-wait spans, a stack per (node, op, id).
+    open_waits: BTreeMap<(NodeId, &'static str, u32), Vec<Ns>>,
+    /// Open demand fetches per (node, server, page).
+    open_fetches: BTreeMap<(NodeId, NodeId, u32), (FetchKind, Ns)>,
+    metrics: Metrics,
+}
+
+impl State {
+    fn flow(&mut self, src: NodeId, dst: NodeId, seq: u32, bytes: usize) -> &mut Flow {
+        self.flows
+            .entry((src, dst, seq))
+            .or_insert_with(|| Flow::new(FlowKey { src, dst, seq }, bytes))
+    }
+
+    fn push_span(&mut self, span: Span) {
+        if self.record_events {
+            self.spans.push(span);
+        }
+    }
+
+    fn push_instant(&mut self, ev: InstantEvent) {
+        if self.record_events {
+            self.instants.push(ev);
+        }
+    }
+}
+
+/// The causal tracer. Cheap to clone (all clones share one state);
+/// [`install`](Tracer::install) it on every node's runtime and
+/// [`attach`](Tracer::attach) it to the cluster before the run.
+#[derive(Clone)]
+pub struct Tracer {
+    inner: Arc<Mutex<State>>,
+}
+
+impl fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let st = self.inner.lock();
+        write!(
+            f,
+            "Tracer({} flows, {} spans, {} instants)",
+            st.flows.len(),
+            st.spans.len(),
+            st.instants.len()
+        )
+    }
+}
+
+impl Tracer {
+    /// A tracer for an `n_nodes`-node cluster, recording flows, spans, and
+    /// metrics.
+    #[must_use]
+    pub fn new(n_nodes: usize) -> Self {
+        Self::build(n_nodes, true)
+    }
+
+    /// A tracer that keeps only the metrics registry and flow table —
+    /// span/instant event lists stay empty, bounding memory on long runs.
+    #[must_use]
+    pub fn metrics_only(n_nodes: usize) -> Self {
+        Self::build(n_nodes, false)
+    }
+
+    fn build(n_nodes: usize, record_events: bool) -> Self {
+        Self {
+            inner: Arc::new(Mutex::new(State {
+                n_nodes,
+                record_events,
+                flows: BTreeMap::new(),
+                spans: Vec::new(),
+                instants: Vec::new(),
+                pending_send: BTreeMap::new(),
+                pending_dispatch: BTreeMap::new(),
+                open_waits: BTreeMap::new(),
+                open_fetches: BTreeMap::new(),
+                metrics: Metrics::default(),
+            })),
+        }
+    }
+
+    /// Install the core probe, engine observer, and transport observer on
+    /// one node's runtime. Call from the node closure, before the
+    /// application sends messages.
+    pub fn install(&self, rt: &mut Runtime) {
+        rt.set_probe(Arc::new(self.clone()));
+        rt.set_engine_observer(Arc::new(self.clone()));
+        rt.set_transport_observer(Arc::new(self.clone()));
+    }
+
+    /// Attach the wire observer to the cluster (transmission, loss, and
+    /// mailbox-delivery events).
+    pub fn attach(&self, cluster: &mut Cluster) {
+        cluster.set_observer(Arc::new(self.clone()));
+    }
+
+    /// Snapshot of all recorded flows, in `(src, dst, seq)` order.
+    #[must_use]
+    pub fn flows(&self) -> Vec<Flow> {
+        self.inner.lock().flows.values().cloned().collect()
+    }
+
+    /// Snapshot of all completed spans, in completion order.
+    #[must_use]
+    pub fn spans(&self) -> Vec<Span> {
+        self.inner.lock().spans.clone()
+    }
+
+    /// Snapshot of all instant events, in observation order.
+    #[must_use]
+    pub fn instants(&self) -> Vec<InstantEvent> {
+        self.inner.lock().instants.clone()
+    }
+
+    /// Snapshot of the metrics registry.
+    #[must_use]
+    pub fn metrics(&self) -> Metrics {
+        self.inner.lock().metrics.clone()
+    }
+
+    /// Renders everything recorded as Chrome trace-event JSON (the format
+    /// `chrome://tracing` and Perfetto load). Deterministic output.
+    #[must_use]
+    pub fn chrome_trace(&self) -> String {
+        export::chrome_trace(&self.inner.lock())
+    }
+
+    /// Renders the causal message graph in Graphviz DOT: one node per
+    /// send/receive endpoint, wire edges between them, program-order
+    /// edges along each simulated node. Deterministic output.
+    #[must_use]
+    pub fn dot_graph(&self) -> String {
+        export::dot_graph(&self.inner.lock())
+    }
+}
+
+/// Transport frame header layout (mirrors `carlos_sim::transport`): 1 kind
+/// byte + 4-byte LE sequence number.
+fn parse_header(payload: &Bytes) -> Option<(u8, u32)> {
+    if payload.len() < 5 {
+        return None;
+    }
+    let seq = u32::from_le_bytes(payload[1..5].try_into().ok()?);
+    Some((payload[0], seq))
+}
+
+impl CoreProbe for Tracer {
+    fn release_sent(&self, _node: NodeId, _dst: NodeId, _required: &Vc) {
+        self.inner.lock().metrics.count("protocol.release_sent", 1);
+    }
+
+    fn release_accepted(&self, _node: NodeId, _origin: NodeId, _required: &Vc, complete: bool) {
+        let mut st = self.inner.lock();
+        st.metrics.count("protocol.release_accepted", 1);
+        if !complete {
+            st.metrics.count("protocol.release_incomplete", 1);
+        }
+    }
+
+    fn repair_requested(&self, _node: NodeId, _origin: NodeId, _have: &Vc, _want: &Vc) {
+        self.inner.lock().metrics.count("protocol.repair_requested", 1);
+    }
+
+    fn msg_sent(&self, node: NodeId, dst: NodeId, class: MsgClass, handler: u32, at: Ns) {
+        let mut st = self.inner.lock();
+        st.metrics.count(&format!("msg.sent.{}", class.name()), 1);
+        st.pending_send
+            .entry((node, dst))
+            .or_default()
+            .push_back((class, handler, at));
+    }
+
+    fn msg_dispatched(
+        &self,
+        node: NodeId,
+        src: NodeId,
+        class: MsgClass,
+        handler: u32,
+        bytes: usize,
+        at: Ns,
+    ) {
+        let mut st = self.inner.lock();
+        st.metrics.count(&format!("msg.dispatched.{}", class.name()), 1);
+        st.push_instant(InstantEvent {
+            node,
+            name: format!("dispatch {} h{handler:#x} from n{src}", class.name()),
+            cat: "protocol",
+            at,
+        });
+        if let Some(key) = st
+            .pending_dispatch
+            .get_mut(&(node, src))
+            .and_then(VecDeque::pop_front)
+        {
+            let flow = st.flows.get_mut(&key).expect("pending flow exists");
+            flow.dispatched_at = Some(at);
+            if flow.class.is_none() {
+                flow.class = Some(class);
+                flow.handler = Some(handler);
+                flow.bytes = bytes;
+            }
+            if let (Some(sent), Some(cls)) = (flow.msg_at.or(flow.sent_at), flow.class) {
+                let lat = at.saturating_sub(sent);
+                st.metrics
+                    .observe(&format!("flow.latency.{}", cls.name()), lat);
+            }
+        }
+    }
+
+    fn protocol_cost(&self, node: NodeId, class: MsgClass, phase: CostPhase, ns: Ns, at: Ns) {
+        let mut st = self.inner.lock();
+        st.metrics
+            .observe(&format!("cost.{}.{}", class.name(), phase.name()), ns);
+        st.push_span(Span {
+            node,
+            name: format!("{} {}", phase.name(), class.name()),
+            cat: "cost",
+            start: at,
+            end: at + ns,
+        });
+    }
+
+    fn fetch_started(&self, node: NodeId, server: NodeId, page: u32, kind: FetchKind, at: Ns) {
+        let mut st = self.inner.lock();
+        let what = match kind {
+            FetchKind::Diffs => "diffs",
+            FetchKind::Page => "page",
+        };
+        st.metrics.count(&format!("fetch.{what}"), 1);
+        st.open_fetches.insert((node, server, page), (kind, at));
+    }
+
+    fn fetch_finished(&self, node: NodeId, server: NodeId, page: u32, at: Ns) {
+        let mut st = self.inner.lock();
+        if let Some((kind, began)) = st.open_fetches.remove(&(node, server, page)) {
+            let what = match kind {
+                FetchKind::Diffs => "diffs",
+                FetchKind::Page => "page",
+            };
+            st.metrics
+                .observe(&format!("fetch.latency.{what}"), at.saturating_sub(began));
+            st.push_span(Span {
+                node,
+                name: format!("fetch {what} p{page} <- n{server}"),
+                cat: "fetch",
+                start: began,
+                end: at.max(began),
+            });
+        }
+    }
+
+    fn sync_wait(&self, node: NodeId, what: &'static str, id: u32, begin: bool, at: Ns) {
+        let mut st = self.inner.lock();
+        if begin {
+            st.open_waits.entry((node, what, id)).or_default().push(at);
+            return;
+        }
+        if let Some(began) = st
+            .open_waits
+            .get_mut(&(node, what, id))
+            .and_then(Vec::pop)
+        {
+            st.metrics
+                .observe(&format!("wait.{what}"), at.saturating_sub(began));
+            st.push_span(Span {
+                node,
+                name: format!("wait {what} #{id}"),
+                cat: "sync",
+                start: began,
+                end: at.max(began),
+            });
+        }
+    }
+}
+
+impl TransportObserver for Tracer {
+    fn data_sent(&self, node: NodeId, dst: NodeId, seq: u32, bytes: usize, at: Ns) {
+        let mut st = self.inner.lock();
+        let intent = st
+            .pending_send
+            .get_mut(&(node, dst))
+            .and_then(VecDeque::pop_front);
+        let flow = st.flow(node, dst, seq, bytes);
+        flow.sent_at = Some(at);
+        flow.bytes = bytes;
+        if let Some((class, handler, msg_at)) = intent {
+            flow.class = Some(class);
+            flow.handler = Some(handler);
+            flow.msg_at = Some(msg_at);
+            let delay = at.saturating_sub(msg_at);
+            st.metrics.observe("flow.send_delay", delay);
+        }
+    }
+
+    fn data_queued(&self, node: NodeId, dst: NodeId, _bytes: usize, _at: Ns) {
+        let _ = (node, dst);
+        self.inner.lock().metrics.count("transport.queued", 1);
+    }
+
+    fn data_retransmitted(&self, node: NodeId, dst: NodeId, seq: u32, _bytes: usize, _at: Ns) {
+        let mut st = self.inner.lock();
+        st.metrics.count("transport.retransmits", 1);
+        if let Some(f) = st.flows.get_mut(&(node, dst, seq)) {
+            f.retransmits += 1;
+        }
+    }
+
+    fn data_delivered(&self, node: NodeId, src: NodeId, seq: u32, bytes: usize, at: Ns) {
+        let mut st = self.inner.lock();
+        let flow = st.flow(src, node, seq, bytes);
+        flow.ready_at = Some(at);
+        let key = flow.key;
+        st.pending_dispatch
+            .entry((node, src))
+            .or_default()
+            .push_back((key.src, key.dst, key.seq));
+    }
+
+    fn data_duplicate(&self, node: NodeId, src: NodeId, seq: u32, _at: Ns) {
+        let mut st = self.inner.lock();
+        st.metrics.count("transport.duplicates", 1);
+        if let Some(f) = st.flows.get_mut(&(src, node, seq)) {
+            f.duplicates += 1;
+        }
+    }
+}
+
+impl WireObserver for Tracer {
+    fn frame_delivered(
+        &self,
+        _src: NodeId,
+        _dst: NodeId,
+        _sent_at: Ns,
+        _delivered_at: Ns,
+        _bytes: usize,
+    ) {
+        // The payload-carrying companion below does the work.
+    }
+
+    fn frame_sent(&self, src: NodeId, dst: NodeId, _at: Ns, payload: &Bytes) {
+        let mut st = self.inner.lock();
+        match parse_header(payload) {
+            Some((0, seq)) => {
+                st.metrics.count("wire.sent.data", 1);
+                // Only annotate flows the transport observer created:
+                // foreign traffic that merely looks like a data frame must
+                // not fabricate flow entries.
+                if let Some(f) = st.flows.get_mut(&(src, dst, seq)) {
+                    f.wire_sends += 1;
+                }
+            }
+            Some((1, _)) => st.metrics.count("wire.sent.ack", 1),
+            Some((2, _)) => st.metrics.count("wire.sent.ping", 1),
+            Some((3, _)) => st.metrics.count("wire.sent.pong", 1),
+            _ => st.metrics.count("wire.sent.other", 1),
+        }
+    }
+
+    fn frame_dropped(&self, src: NodeId, dst: NodeId, _at: Ns, payload: &Bytes) {
+        let mut st = self.inner.lock();
+        st.metrics.count("wire.dropped", 1);
+        if let Some((0, seq)) = parse_header(payload) {
+            if let Some(f) = st.flows.get_mut(&(src, dst, seq)) {
+                f.drops += 1;
+            }
+        }
+    }
+
+    fn frame_delivered_payload(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        sent_at: Ns,
+        delivered_at: Ns,
+        payload: &Bytes,
+    ) {
+        let mut st = self.inner.lock();
+        st.metrics
+            .observe("wire.latency", delivered_at.saturating_sub(sent_at));
+        if let Some((0, seq)) = parse_header(payload) {
+            if let Some(f) = st.flows.get_mut(&(src, dst, seq)) {
+                if f.delivered_at.is_none() {
+                    f.delivered_at = Some(delivered_at);
+                }
+            }
+        }
+    }
+}
+
+impl EngineObserver for Tracer {
+    fn interval_closed(&self, _node: u32, rec: &IntervalRecord) {
+        let mut st = self.inner.lock();
+        st.metrics.count("lrc.intervals_closed", 1);
+        st.metrics
+            .count("lrc.write_notices", rec.pages.len() as u64);
+    }
+
+    fn record_applied(&self, _node: u32, _rec: &IntervalRecord) {
+        self.inner.lock().metrics.count("lrc.records_applied", 1);
+    }
+
+    fn page_installed(&self, _node: u32, _page: carlos_lrc::PageId, _applied: &Vc) {
+        self.inner.lock().metrics.count("lrc.pages_installed", 1);
+    }
+}

@@ -49,7 +49,12 @@ fn main() {
             rt.shutdown();
         });
     }
-    let report = cluster.run();
+    // `try_run` surfaces simulation failures (deadlock, node crash, abort)
+    // as a structured `SimError` value rather than a panic.
+    let report = cluster.try_run().unwrap_or_else(|e| {
+        eprintln!("quickstart failed: {e}");
+        std::process::exit(1);
+    });
     println!(
         "elapsed {:.3}s  messages {}  avg {}B  lock acquires {}  local re-acquires {}",
         to_secs(report.elapsed),

@@ -1,0 +1,35 @@
+//! The paper-table report harness: regenerates the paper's Tables 1–3
+//! (plus SOR) across 1–4 nodes with a metrics-only tracer installed,
+//! writing `BENCH_paper.json` and printing a Markdown report with
+//! per-message-class cost attribution (§5.4's microcosts, end to end).
+//!
+//! Run with `cargo run --release --example report`. Environment:
+//!
+//! - `CARLOS_REPORT_QUICK=1` — test-scale workloads (what CI runs);
+//! - `CARLOS_REPORT_OUT=path` — JSON destination (default
+//!   `BENCH_paper.json` in the current directory).
+
+use carlos::bench::report::{run_report, to_json, to_markdown, ReportOptions};
+
+fn main() {
+    let opts = ReportOptions::from_env();
+    eprintln!(
+        "running report at {} scale, 1-{} nodes...",
+        if opts.quick { "test" } else { "paper" },
+        opts.max_nodes
+    );
+    let rows = run_report(&opts).unwrap_or_else(|e| {
+        eprintln!("report failed: {e}");
+        std::process::exit(1);
+    });
+    let path =
+        std::env::var("CARLOS_REPORT_OUT").unwrap_or_else(|_| "BENCH_paper.json".to_string());
+    match std::fs::write(&path, to_json(&rows, &opts)) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    println!("{}", to_markdown(&rows));
+}

@@ -4,7 +4,7 @@
 //!
 //! Run with `cargo run --release --example tsp [-- small]`.
 
-use carlos::apps::tsp::{run_tsp, Cities, TspConfig, TspVariant};
+use carlos::apps::tsp::{try_run_tsp, Cities, TspConfig, TspVariant};
 use carlos::sim::Bucket;
 
 fn main() {
@@ -17,7 +17,10 @@ fn main() {
             } else {
                 TspConfig::paper(n, variant)
             };
-            let r = run_tsp(&cfg);
+            let r = try_run_tsp(&cfg).unwrap_or_else(|e| {
+                eprintln!("TSP/{name} on {n} node(s) failed: {e}");
+                std::process::exit(1);
+            });
             if n == 1 {
                 single = r.app.secs;
             }

@@ -4,7 +4,7 @@
 //!
 //! Run with `cargo run --release --example water_sim [-- small]`.
 
-use carlos::apps::water::{run_water, WaterConfig, WaterVariant};
+use carlos::apps::water::{try_run_water, WaterConfig, WaterVariant};
 use carlos::sim::Bucket;
 
 fn main() {
@@ -18,7 +18,10 @@ fn main() {
             } else {
                 WaterConfig::paper(n, variant)
             };
-            let r = run_water(&cfg);
+            let r = try_run_water(&cfg).unwrap_or_else(|e| {
+                eprintln!("Water/{name} on {n} node(s) failed: {e}");
+                std::process::exit(1);
+            });
             if n == 1 {
                 single = r.app.secs;
             }

@@ -84,7 +84,12 @@ fn main() {
         rt.shutdown();
     });
 
-    let report = cluster.run();
+    // A wedged queue protocol shows up as a structured deadlock report on
+    // stderr, not a panic backtrace.
+    let report = cluster.try_run().unwrap_or_else(|e| {
+        eprintln!("work_queue failed: {e}");
+        std::process::exit(1);
+    });
     println!(
         "done: {} messages ({} stored-and-forwarded by the manager)",
         report.net.messages,

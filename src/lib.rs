@@ -22,7 +22,11 @@
 //! - an online **consistency oracle**: a happens-before tracker, shadow
 //!   memory validating every read under LRC legality, and a data-race
 //!   detector with (node, interval, address) attribution, installable on
-//!   any run as a pure observer ([`check`]).
+//!   any run as a pure observer ([`check`]);
+//! - a causal **tracer**: per-message flows threaded send → wire → ARQ →
+//!   deliver → dispatch, per-message-class cost attribution mirroring the
+//!   paper's §5.4 microcosts, and Chrome-trace / DOT / metrics-JSON
+//!   export, also a pure observer ([`trace`]).
 //!
 //! # Quick start
 //!
@@ -58,9 +62,11 @@
 #![warn(missing_docs)]
 
 pub use carlos_apps as apps;
+pub use carlos_bench as bench;
 pub use carlos_check as check;
 pub use carlos_core as core;
 pub use carlos_lrc as lrc;
 pub use carlos_sim as sim;
 pub use carlos_sync as sync;
+pub use carlos_trace as trace;
 pub use carlos_util as util;

@@ -13,6 +13,7 @@
 //! copying the `actual fingerprint:` block from the failure message.
 
 use carlos::check::Checker;
+use carlos::trace::Tracer;
 use carlos::core::{CoreConfig, Runtime};
 use carlos::lrc::LrcConfig;
 use carlos::sim::time::{ms, us};
@@ -61,18 +62,25 @@ fn fingerprint(r: &SimReport) -> String {
 /// A fixed 2-node lock/barrier workload over shared pages: enough traffic
 /// to exercise diff creation/application, page fetches, interval records,
 /// and the wire codec end to end.
-fn two_node_run(check: Option<Checker>) -> SimReport {
+fn two_node_run(check: Option<Checker>, trace: Option<Tracer>) -> SimReport {
     const N: usize = 2;
     let mut cluster = Cluster::new(SimConfig::osdi94(), N);
     if let Some(check) = &check {
         check.attach(&mut cluster);
     }
+    if let Some(trace) = &trace {
+        trace.attach(&mut cluster);
+    }
     for node in 0..N as u32 {
         let check = check.clone();
+        let trace = trace.clone();
         cluster.spawn_node(node, move |ctx| {
             let mut rt = Runtime::new(ctx, LrcConfig::osdi94(N, 1 << 15), CoreConfig::osdi94());
             if let Some(check) = &check {
                 check.install(&mut rt);
+            }
+            if let Some(trace) = &trace {
+                trace.install(&mut rt);
             }
             let sys = carlos::sync::install(&mut rt);
             let lock = LockSpec::new(1, 0);
@@ -100,15 +108,19 @@ fn two_node_run(check: Option<Checker>) -> SimReport {
 
 /// Same shape, but with packet loss and the ARQ transport, so retransmit
 /// paths are part of the pinned behavior too.
-fn two_node_lossy_run(check: Option<Checker>) -> SimReport {
+fn two_node_lossy_run(check: Option<Checker>, trace: Option<Tracer>) -> SimReport {
     const N: usize = 2;
     let cfg = SimConfig::fast_test().with_loss(0.10, 77);
     let mut cluster = Cluster::new(cfg, N);
     if let Some(check) = &check {
         check.attach(&mut cluster);
     }
+    if let Some(trace) = &trace {
+        trace.attach(&mut cluster);
+    }
     for node in 0..N as u32 {
         let check = check.clone();
+        let trace = trace.clone();
         cluster.spawn_node(node, move |ctx| {
             let ack = AckMode::Arq {
                 window: 16,
@@ -118,6 +130,9 @@ fn two_node_lossy_run(check: Option<Checker>) -> SimReport {
                 Runtime::with_ack_mode(ctx, LrcConfig::small_test(N), CoreConfig::fast_test(), ack);
             if let Some(check) = &check {
                 check.install(&mut rt);
+            }
+            if let Some(trace) = &trace {
+                trace.install(&mut rt);
             }
             let sys = carlos::sync::install(&mut rt);
             let lock = LockSpec::new(1, 0);
@@ -140,7 +155,7 @@ fn two_node_lossy_run(check: Option<Checker>) -> SimReport {
 /// the uniform loss: a Gilbert–Elliott burst window and a node pause. Pins
 /// the fault subsystem's behavior — GE chain consumption, deferred
 /// deliveries, ARQ recovery — not just its absence.
-fn two_node_chaos_run(check: Option<Checker>) -> SimReport {
+fn two_node_chaos_run(check: Option<Checker>, trace: Option<Tracer>) -> SimReport {
     use carlos::sim::{FaultPlan, GeParams};
     const N: usize = 2;
     let plan = FaultPlan::new(0xC4A05)
@@ -160,8 +175,12 @@ fn two_node_chaos_run(check: Option<Checker>) -> SimReport {
     if let Some(check) = &check {
         check.attach(&mut cluster);
     }
+    if let Some(trace) = &trace {
+        trace.attach(&mut cluster);
+    }
     for node in 0..N as u32 {
         let check = check.clone();
+        let trace = trace.clone();
         cluster.spawn_node(node, move |ctx| {
             let ack = AckMode::Arq {
                 window: 16,
@@ -171,6 +190,9 @@ fn two_node_chaos_run(check: Option<Checker>) -> SimReport {
                 Runtime::with_ack_mode(ctx, LrcConfig::small_test(N), CoreConfig::fast_test(), ack);
             if let Some(check) = &check {
                 check.install(&mut rt);
+            }
+            if let Some(trace) = &trace {
+                trace.install(&mut rt);
             }
             let sys = carlos::sync::install(&mut rt);
             let lock = LockSpec::new(1, 0);
@@ -229,7 +251,7 @@ node1 counters barrier.waits=2 carlos.accepted=3 carlos.diff_requests_served=1 c
 #[test]
 fn two_node_chaos_report_is_pinned() {
     assert_matches_golden(
-        &two_node_chaos_run(None),
+        &two_node_chaos_run(None, None),
         GOLDEN_TWO_NODE_CHAOS,
         "2-node chaos (burst loss + pause) workload",
     );
@@ -238,7 +260,7 @@ fn two_node_chaos_report_is_pinned() {
 #[test]
 fn two_node_report_is_pinned() {
     assert_matches_golden(
-        &two_node_run(None),
+        &two_node_run(None, None),
         GOLDEN_TWO_NODE,
         "2-node osdi94 workload",
     );
@@ -247,7 +269,7 @@ fn two_node_report_is_pinned() {
 #[test]
 fn two_node_lossy_report_is_pinned() {
     assert_matches_golden(
-        &two_node_lossy_run(None),
+        &two_node_lossy_run(None, None),
         GOLDEN_TWO_NODE_LOSSY,
         "2-node lossy ARQ workload",
     );
@@ -261,7 +283,7 @@ fn two_node_lossy_report_is_pinned() {
 fn checker_is_invisible_to_the_goldens() {
     for (run, golden, what) in [
         (
-            two_node_run as fn(Option<Checker>) -> SimReport,
+            two_node_run as fn(Option<Checker>, Option<Tracer>) -> SimReport,
             GOLDEN_TWO_NODE,
             "checked 2-node osdi94 workload",
         ),
@@ -277,7 +299,42 @@ fn checker_is_invisible_to_the_goldens() {
         ),
     ] {
         let check = Checker::new(2);
-        assert_matches_golden(&run(Some(check.clone())), golden, what);
+        assert_matches_golden(&run(Some(check.clone()), None), golden, what);
         check.assert_clean();
     }
 }
+
+/// The tracer, too, is a pure observer: with it installed on every node,
+/// attached to the wire, and recording flows, spans, and metrics, the
+/// pinned fingerprints — including the chaos workload's retransmit and
+/// fault accounting — stay bit-identical, while the tracer itself comes
+/// back non-empty.
+#[test]
+fn tracer_is_invisible_to_the_goldens() {
+    for (run, golden, what) in [
+        (
+            two_node_run as fn(Option<Checker>, Option<Tracer>) -> SimReport,
+            GOLDEN_TWO_NODE,
+            "traced 2-node osdi94 workload",
+        ),
+        (
+            two_node_lossy_run,
+            GOLDEN_TWO_NODE_LOSSY,
+            "traced 2-node lossy ARQ workload",
+        ),
+        (
+            two_node_chaos_run,
+            GOLDEN_TWO_NODE_CHAOS,
+            "traced 2-node chaos workload",
+        ),
+    ] {
+        let trace = Tracer::new(2);
+        assert_matches_golden(&run(None, Some(trace.clone())), golden, what);
+        assert!(!trace.flows().is_empty(), "{what}: tracer saw no flows");
+        assert!(
+            trace.metrics().counter("msg.sent.REQUEST") > 0,
+            "{what}: tracer saw no REQUEST sends"
+        );
+    }
+}
+
