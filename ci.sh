@@ -32,7 +32,30 @@ CARLOS_REPORT_QUICK=1 CARLOS_REPORT_OUT=target/BENCH_paper_quick.json \
     cargo run --release -q --example report > target/report_quick.md
 grep -q '| TSP |' target/report_quick.md
 
+echo "==> parallel profile (conservative multi-baton scheduler)"
+# Bit-identical equivalence: pinned goldens, app seed sweeps, rerun
+# stability, and the observer-forces-serial fallback.
+cargo test -q --test parallel_golden
+# Quick parallel report: the 8-node TSP/SOR rows must run clean.
+CARLOS_REPORT_QUICK=1 CARLOS_REPORT_OUT=target/BENCH_paper_parallel.json \
+    cargo run --release -q --example report > target/report_parallel.md
+grep -q 'Lock/par' target/report_parallel.md
+
 echo "==> wallclock bench (quick mode) -> BENCH_hotpath.json"
 CARLOS_BENCH_QUICK=1 cargo bench -p carlos-bench --bench wallclock
+
+# Parallel-scheduler speedup gate: only meaningful with real cores. On a
+# >= 4-core host the 4-node TSP run must not be slower under the parallel
+# scheduler; single-core hosts (e.g. this container) skip the gate, since
+# op-log machinery without parallelism is pure overhead.
+cores=$(nproc)
+if [ "$cores" -ge 4 ]; then
+    speedup=$(grep -o '"parallel_speedup_tsp_4node": [0-9.]*' BENCH_hotpath.json \
+        | awk '{print $2}')
+    echo "==> parallel speedup gate: ${speedup}x on ${cores} cores (need >= 1.0)"
+    awk -v s="$speedup" 'BEGIN { exit !(s >= 1.0) }'
+else
+    echo "==> parallel speedup gate skipped (${cores} core(s) < 4)"
+fi
 
 echo "ci.sh: all green"

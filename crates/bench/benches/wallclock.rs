@@ -1,7 +1,10 @@
 //! Host wall-clock benchmarks of the hot paths touched by the
 //! performance overhaul: word-level diff creation vs the retained naive
 //! byte scanner, diff application, the wire codec, and end-to-end
-//! 4-node TSP/SOR runs (host seconds, not virtual time).
+//! 4-node TSP/SOR runs (host seconds, not virtual time). Each end-to-end
+//! run also executes under the conservative parallel scheduler; the
+//! serial/parallel host-second ratio lands in the JSON's `derived`
+//! section as `parallel_speedup_*`, alongside `host_cores`.
 //!
 //! Run with `cargo bench -p carlos-bench --bench wallclock`. Results are
 //! written to `BENCH_hotpath.json` at the repository root (override the
@@ -224,6 +227,65 @@ fn bench_e2e(quick: bool) -> Vec<E2eResult> {
         virtual_ns: vns,
     });
 
+    // The same runs under the conservative parallel scheduler: virtual
+    // time is bit-identical (pinned by tests/parallel_golden.rs — the
+    // assert below re-checks it here), so the only thing that may move
+    // is host seconds. The serial/parallel host-second ratio is the
+    // scheduler's speedup; on a single-core host expect ~1x or a small
+    // slowdown from the op-log machinery.
+    {
+        let serial_vns = out
+            .iter()
+            .find(|r| r.id == "tsp_lock_4node_12c")
+            .map(|r| r.virtual_ns);
+        let par_cfg = {
+            let mut c = tsp_cfg.clone();
+            c.sim = c.sim.parallel(true);
+            c
+        };
+        let (host, vns) = time_e2e(reps, || {
+            let r = run_tsp(&par_cfg);
+            black_box(r.app.report.elapsed)
+        });
+        assert_eq!(
+            serial_vns,
+            Some(vns),
+            "parallel TSP diverged from serial virtual time"
+        );
+        eprintln!("e2e  tsp_lock_4node_12c_parallel: {host:.3} host-s ({} virtual-ms)", vns / 1_000_000);
+        out.push(E2eResult {
+            id: "tsp_lock_4node_12c_parallel",
+            host_seconds: host,
+            virtual_ns: vns,
+        });
+    }
+    {
+        let serial_vns = out
+            .iter()
+            .find(|r| r.id == "sor_4node_130x64")
+            .map(|r| r.virtual_ns);
+        let par_cfg = {
+            let mut c = sor_cfg.clone();
+            c.sim = c.sim.parallel(true);
+            c
+        };
+        let (host, vns) = time_e2e(reps, || {
+            let r = run_sor(&par_cfg);
+            black_box(r.app.report.elapsed)
+        });
+        assert_eq!(
+            serial_vns,
+            Some(vns),
+            "parallel SOR diverged from serial virtual time"
+        );
+        eprintln!("e2e  sor_4node_130x64_parallel: {host:.3} host-s ({} virtual-ms)", vns / 1_000_000);
+        out.push(E2eResult {
+            id: "sor_4node_130x64_parallel",
+            host_seconds: host,
+            virtual_ns: vns,
+        });
+    }
+
     out
 }
 
@@ -290,6 +352,23 @@ fn write_json(c: &Criterion, e2e: &[E2eResult], quick: bool) {
             }
         }
     }
+    // Parallel-scheduler speedup: serial host seconds over parallel host
+    // seconds for the same 4-node run (virtual time is bit-identical).
+    // The ci.sh gate reads these keys on hosts with >= 4 cores.
+    for (serial_id, par_id, key) in [
+        ("tsp_lock_4node_12c", "tsp_lock_4node_12c_parallel", "parallel_speedup_tsp_4node"),
+        ("sor_4node_130x64", "sor_4node_130x64_parallel", "parallel_speedup_sor_4node"),
+    ] {
+        if let (Some(serial), Some(par)) = (e2e_secs(serial_id), e2e_secs(par_id)) {
+            if par > 0.0 {
+                lines.push(format!("    \"{key}\": {:.2}", serial / par));
+            }
+        }
+    }
+    lines.push(format!(
+        "    \"host_cores\": {}",
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    ));
     s.push_str(&lines.join(",\n"));
     s.push_str("\n  }\n}\n");
 

@@ -85,24 +85,50 @@ impl IntervalStore {
     /// All records strictly newer than `have`, i.e. records whose index
     /// exceeds `have[creator]`. This is exactly the consistency information
     /// a RELEASE message must carry to a receiver whose state is `have`.
+    ///
+    /// Cost is O(output + nodes·log n), not O(all records ever seen): for
+    /// each creator present in the store, only the `(creator, have+1)..`
+    /// suffix is visited, exactly like [`IntervalStore::own_newer_than`].
+    /// Output order (node-major, index-ascending) matches the historical
+    /// full-scan implementation byte for byte.
     #[must_use]
     pub fn newer_than(&self, have: &Vc) -> Vec<IntervalRecord> {
-        self.records
-            .values()
-            .filter(|r| r.index > have.get(r.node))
-            .cloned()
-            .collect()
+        self.suffix_scan(have, None)
     }
 
     /// Like [`IntervalStore::newer_than`] but bounded above by `through`,
     /// used to serve "missing consistency information" requests.
     #[must_use]
     pub fn newer_than_bounded(&self, have: &Vc, through: &Vc) -> Vec<IntervalRecord> {
-        self.records
-            .values()
-            .filter(|r| r.index > have.get(r.node) && r.index <= through.get(r.node))
-            .cloned()
-            .collect()
+        self.suffix_scan(have, Some(through))
+    }
+
+    /// Shared per-node suffix walk: for every creator node present in the
+    /// store, clone records with `have[node] < index` (and, when bounded,
+    /// `index <= through[node]`). Creators are discovered from the key
+    /// space itself, so the walk never depends on the vector-clock width.
+    fn suffix_scan(&self, have: &Vc, through: Option<&Vc>) -> Vec<IntervalRecord> {
+        let mut out = Vec::new();
+        let mut from: Option<u32> = Some(0);
+        while let Some(start_node) = from {
+            // First record at or beyond `start_node` tells us the next
+            // creator that actually has records.
+            let Some((&(node, _), _)) = self.records.range((start_node, 0)..).next() else {
+                break;
+            };
+            if let Some(lo) = have.get(node).checked_add(1) {
+                let hi = through.map_or(u32::MAX, |t| t.get(node));
+                if lo <= hi {
+                    out.extend(
+                        self.records
+                            .range((node, lo)..=(node, hi))
+                            .map(|(_, r)| r.clone()),
+                    );
+                }
+            }
+            from = node.checked_add(1);
+        }
+        out
     }
 
     /// Records created by `node` that are newer than `have[node]` — the

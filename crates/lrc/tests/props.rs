@@ -201,3 +201,64 @@ proptest! {
         }
     }
 }
+
+/// Reference implementation of the interval-store suffix scans: the
+/// historical full-store linear walk. The optimized per-node range scans
+/// must return byte-identical output (same records, same order) for any
+/// store contents and any `have`/`through` clocks.
+mod interval_scan_equivalence {
+    use super::*;
+    use carlos_lrc::interval::{IntervalRecord, IntervalStore};
+
+    fn linear_newer_than(s: &IntervalStore, have: &Vc) -> Vec<IntervalRecord> {
+        let mut out = Vec::new();
+        for node in 0..64u32 {
+            for idx in 1..=80u32 {
+                if let Some(r) = s.get(node, idx) {
+                    if r.index > have.get(r.node) {
+                        out.push(r.clone());
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn linear_newer_than_bounded(
+        s: &IntervalStore,
+        have: &Vc,
+        through: &Vc,
+    ) -> Vec<IntervalRecord> {
+        linear_newer_than(s, have)
+            .into_iter()
+            .filter(|r| r.index <= through.get(r.node))
+            .collect()
+    }
+
+    proptest! {
+        #[test]
+        fn range_scan_matches_linear_scan(
+            recs in proptest::collection::vec((0u32..6, 1u32..80), 0..120),
+            have_raw in proptest::collection::vec(0u32..90, 6),
+            through_raw in proptest::collection::vec(0u32..90, 6),
+        ) {
+            let mut store = IntervalStore::new();
+            for &(node, index) in &recs {
+                let mut vc = Vc::new(6);
+                vc.set(node, index);
+                store.insert(IntervalRecord { node, index, vc, pages: vec![node + index] });
+            }
+            let mut have = Vc::new(6);
+            let mut through = Vc::new(6);
+            for (i, (&h, &t)) in have_raw.iter().zip(&through_raw).enumerate() {
+                have.set(i as u32, h);
+                through.set(i as u32, t);
+            }
+            prop_assert_eq!(store.newer_than(&have), linear_newer_than(&store, &have));
+            prop_assert_eq!(
+                store.newer_than_bounded(&have, &through),
+                linear_newer_than_bounded(&store, &have, &through)
+            );
+        }
+    }
+}

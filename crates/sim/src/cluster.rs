@@ -13,6 +13,7 @@ use crate::{
     config::SimConfig,
     error::{AbortInfo, BlockedProc, SimError},
     kernel::{EvKind, Kernel, ProcId, ProcState},
+    parallel,
     stats::{Bucket, Counters, NetStats, TimeBuckets},
     time::{NodeId, Ns},
 };
@@ -79,13 +80,16 @@ pub struct Datagram {
     pub sent_at: Ns,
 }
 
-struct Shared {
-    kernel: Mutex<Kernel>,
-    runner_cv: Condvar,
+pub(crate) struct Shared {
+    pub(crate) kernel: Mutex<Kernel>,
+    pub(crate) runner_cv: Condvar,
+    /// Parallel-mode control block (mode gate, op channels, lane state).
+    /// Inert in serial mode beyond publishing the mode decision.
+    pub(crate) par: parallel::ParCtrl,
 }
 
 /// Why the event loop stopped without a report.
-enum RunFailure {
+pub(crate) enum RunFailure {
     /// A proc panicked; the payload is re-thrown (or stringified) later.
     Panic {
         payload: Box<dyn std::any::Any + Send>,
@@ -117,10 +121,12 @@ impl Cluster {
     pub fn new(config: SimConfig, n_nodes: usize) -> Self {
         assert!(n_nodes > 0, "a cluster needs at least one node");
         install_quiet_unwind_hook();
+        let par = parallel::ParCtrl::new(&config, n_nodes);
         Self {
             shared: Arc::new(Shared {
                 kernel: Mutex::new(Kernel::new(config, n_nodes)),
                 runner_cv: Condvar::new(),
+                par,
             }),
             threads: Vec::new(),
             n_nodes,
@@ -139,12 +145,7 @@ impl Cluster {
             self.n_nodes
         );
         let pid = self.register_proc(node, 0);
-        let ctx = NodeCtx {
-            shared: Arc::clone(&self.shared),
-            pid,
-            node,
-            n_nodes: self.n_nodes,
-        };
+        let ctx = NodeCtx::new_internal(Arc::clone(&self.shared), pid, node, self.n_nodes);
         self.threads.push(spawn_proc_thread(ctx, main));
     }
 
@@ -231,6 +232,7 @@ impl Cluster {
 
     /// Poisons the kernel, wakes every parked proc, and joins all threads.
     fn teardown(&mut self) {
+        self.shared.par.poison();
         {
             let mut k = self.shared.kernel.lock();
             k.poisoned = true;
@@ -250,6 +252,14 @@ impl Cluster {
     fn event_loop(&mut self) -> Result<SimReport, RunFailure> {
         let shared = Arc::clone(&self.shared);
         let mut k = shared.kernel.lock();
+        // Decide the run mode once, before any proc executes. Observers
+        // need the serialized single-baton wire view, so their presence
+        // forces serial mode regardless of the config.
+        let parallel = k.config.parallel && k.observer.is_none();
+        shared.par.publish_mode(parallel, &mut k);
+        if parallel {
+            return parallel::event_loop(&shared, k);
+        }
         loop {
             if let Some(p) = k.panic.take() {
                 let node = k.panic_node.take();
@@ -309,18 +319,18 @@ impl Cluster {
                 EvKind::Deliver { dst, dgram } => {
                     if k.fault.is_crashed(dst) {
                         // The frame crossed the wire but nobody is home.
-                        k.net.dropped_crash += 1;
+                        k.nodes[dst as usize].net.dropped_crash += 1;
                         continue;
                     }
                     if let Some(until) = k.fault.pause_until(dst, k.now) {
                         // The node is in a scripted pause: it drains nothing
                         // until the pause ends. Re-deliver at that instant.
-                        k.net.deferred_pause += 1;
+                        k.nodes[dst as usize].net.deferred_pause += 1;
                         k.push_event(until, EvKind::Deliver { dst, dgram });
                         continue;
                     }
                     if dgram.src != dst {
-                        k.net.delivered += 1;
+                        k.nodes[dst as usize].net.delivered += 1;
                         if let Some(obs) = &k.observer {
                             obs.frame_delivered(
                                 dgram.src,
@@ -357,11 +367,11 @@ impl Cluster {
                     }
                     k.fault.mark_crashed(node);
                     let pending = k.nodes[node as usize].mailbox.len() as u64;
-                    k.net.dropped_crash += pending;
+                    k.nodes[node as usize].net.dropped_crash += pending;
                     // Conservation bookkeeping: purged frames were already
                     // counted as delivered (when non-loopback), so record
                     // them to keep `messages` balanceable.
-                    k.net.purged_crash += k.nodes[node as usize]
+                    k.nodes[node as usize].net.purged_crash += k.nodes[node as usize]
                         .mailbox
                         .iter()
                         .filter(|d| d.src != node)
@@ -401,6 +411,8 @@ fn blocked_procs(k: &Kernel) -> Vec<BlockedProc> {
             pid,
             node: p.node,
             waiting_for_msg: p.waiting_for_msg,
+            // Serial mode: every proc's virtual time is the global clock.
+            at: k.now,
         })
         .collect()
 }
@@ -415,10 +427,15 @@ fn payload_message(payload: &Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
-fn build_report(k: &Kernel) -> SimReport {
+pub(crate) fn build_report(k: &Kernel) -> SimReport {
+    // Deterministic merge of the per-node shards, in node-id order. Every
+    // field is a sum, so the totals equal the historical global tally.
+    let mut net = NetStats::default();
+    for n in &k.nodes {
+        net.merge(&n.net);
+    }
     // Events already popped are gone from the queue, so what remains is
     // exactly the set of deliveries that were scheduled but never landed.
-    let mut net = k.net;
     net.in_flight = k
         .queue
         .iter()
@@ -428,6 +445,7 @@ fn build_report(k: &Kernel) -> SimReport {
         elapsed: k.end_time,
         node_buckets: k.nodes.iter().map(|n| n.buckets).collect(),
         node_counters: k.nodes.iter().map(|n| n.counters.clone()).collect(),
+        node_net: k.nodes.iter().map(|n| n.net).collect(),
         net,
         bandwidth_bps: k.config.bandwidth_bps,
         events_processed: k.events_processed,
@@ -435,12 +453,36 @@ fn build_report(k: &Kernel) -> SimReport {
     }
 }
 
-fn spawn_proc_thread(ctx: NodeCtx, main: impl FnOnce(NodeCtx) + Send + 'static) -> JoinHandle<()> {
+pub(crate) fn spawn_proc_thread(
+    ctx: NodeCtx,
+    main: impl FnOnce(NodeCtx) + Send + 'static,
+) -> JoinHandle<()> {
     std::thread::Builder::new()
         .name(format!("sim-node-{}-proc-{}", ctx.node, ctx.pid))
         .spawn(move || {
             let shared = Arc::clone(&ctx.shared);
             let pid = ctx.pid;
+            // Block until the runner decides serial vs. parallel (None:
+            // the cluster was torn down before it ever ran).
+            let Some(is_parallel) = shared.par.wait_mode() else {
+                return;
+            };
+            if is_parallel {
+                // Parallel mode: never touch the kernel. Bind the lane
+                // handle, run the app, and report termination through the
+                // op channel. Poison/crash unwinds need no report — the
+                // runner initiated them and already did the bookkeeping.
+                let chan = shared.par.chan(pid);
+                let _ = ctx.par.set(Arc::clone(&chan));
+                let result = catch_unwind(AssertUnwindSafe(|| main(ctx)));
+                let payload = match result {
+                    Ok(()) => None,
+                    Err(p) if is_poison_unwind(&p) || p.is::<CrashUnwind>() => return,
+                    Err(p) => Some(p),
+                };
+                parallel::lane_finish(&shared.par, &chan, payload);
+                return;
+            }
             // Initial park: wait for the time-0 wake without owning the baton.
             {
                 let mut k = shared.kernel.lock();
@@ -484,7 +526,7 @@ fn spawn_proc_thread(ctx: NodeCtx, main: impl FnOnce(NodeCtx) + Send + 'static) 
         .expect("failed to spawn proc thread")
 }
 
-fn is_poison_unwind(payload: &Box<dyn std::any::Any + Send>) -> bool {
+pub(crate) fn is_poison_unwind(payload: &Box<dyn std::any::Any + Send>) -> bool {
     payload
         .downcast_ref::<&'static str>()
         .is_some_and(|s| *s == POISON_MSG)
@@ -493,7 +535,7 @@ fn is_poison_unwind(payload: &Box<dyn std::any::Any + Send>) -> bool {
             .is_some_and(|s| s == POISON_MSG)
 }
 
-const POISON_MSG: &str = "carlos-sim: run torn down while proc was parked";
+pub(crate) const POISON_MSG: &str = "carlos-sim: run torn down while proc was parked";
 
 /// Installs (once per process) a panic hook that silences the *expected*
 /// unwinds the simulator uses for control flow — scripted crashes
@@ -523,7 +565,7 @@ fn install_quiet_unwind_hook() {
 /// Zero-sized panic payload used to unwind the procs of a fail-stopped
 /// node. Recognized (and discarded) by the proc-thread epilogue so a
 /// scripted crash is never mistaken for an application panic.
-struct CrashUnwind;
+pub(crate) struct CrashUnwind;
 
 /// Handle through which simulated node code interacts with the cluster.
 ///
@@ -532,13 +574,32 @@ struct CrashUnwind;
 /// timeline through [`NodeCtx::now`].
 #[derive(Clone)]
 pub struct NodeCtx {
-    shared: Arc<Shared>,
-    pid: ProcId,
-    node: NodeId,
-    n_nodes: usize,
+    pub(crate) shared: Arc<Shared>,
+    pub(crate) pid: ProcId,
+    pub(crate) node: NodeId,
+    pub(crate) n_nodes: usize,
+    /// Lane handle, set by the proc-thread preamble in parallel mode.
+    /// Empty in serial mode, so every method falls through to the
+    /// historical kernel-locking paths untouched.
+    pub(crate) par: Arc<parallel::LaneHandle>,
 }
 
 impl NodeCtx {
+    pub(crate) fn new_internal(
+        shared: Arc<Shared>,
+        pid: ProcId,
+        node: NodeId,
+        n_nodes: usize,
+    ) -> Self {
+        Self {
+            shared,
+            pid,
+            node,
+            n_nodes,
+            par: Arc::new(parallel::LaneHandle::new()),
+        }
+    }
+
     /// This proc's node id.
     #[must_use]
     pub fn node_id(&self) -> NodeId {
@@ -551,9 +612,14 @@ impl NodeCtx {
         self.n_nodes
     }
 
-    /// Current virtual time.
+    /// Current virtual time (in parallel mode: this proc's lane clock,
+    /// which is where the serial run's clock would be at the same point in
+    /// the proc's execution).
     #[must_use]
     pub fn now(&self) -> Ns {
+        if let Some(ch) = self.par.get() {
+            return parallel::lane_now(ch);
+        }
         self.shared.kernel.lock().now
     }
 
@@ -569,6 +635,10 @@ impl NodeCtx {
     /// charge starts when the node CPU is free, and any wait for the CPU is
     /// charged to `Idle`.
     pub fn charge(&self, bucket: Bucket, dt: Ns) {
+        if let Some(ch) = self.par.get() {
+            parallel::lane_charge(&self.shared.par, ch, bucket, dt);
+            return;
+        }
         let mut k = self.shared.kernel.lock();
         self.advance_locked(&mut k, bucket, dt);
     }
@@ -582,6 +652,9 @@ impl NodeCtx {
     /// `dt` elapsed. Callers loop: handle the message, then continue with
     /// the remainder.
     pub fn compute_interruptible(&self, bucket: Bucket, dt: Ns) -> Option<Ns> {
+        if let Some(ch) = self.par.get() {
+            return parallel::lane_compute_interruptible(&self.shared.par, ch, bucket, dt);
+        }
         let mut k = self.shared.kernel.lock();
         if !k.nodes[self.node as usize].mailbox.is_empty() {
             return Some(dt); // Pending work: handle it before computing.
@@ -619,6 +692,10 @@ impl NodeCtx {
 
     /// Sleeps for `dt` without using the CPU; the time is charged to `Idle`.
     pub fn sleep(&self, dt: Ns) {
+        if let Some(ch) = self.par.get() {
+            parallel::lane_sleep(&self.shared.par, ch, dt);
+            return;
+        }
         let mut k = self.shared.kernel.lock();
         let wake_at = k.now + dt;
         k.nodes[self.node as usize].buckets.charge(Bucket::Idle, dt);
@@ -627,6 +704,10 @@ impl NodeCtx {
 
     /// Adds `v` to this node's counter `name`.
     pub fn count(&self, name: &'static str, v: u64) {
+        if let Some(ch) = self.par.get() {
+            parallel::lane_count(&self.shared.par, ch, name, v);
+            return;
+        }
         let mut k = self.shared.kernel.lock();
         k.nodes[self.node as usize].counters.add(name, v);
     }
@@ -634,6 +715,9 @@ impl NodeCtx {
     /// Reads this node's counter `name`.
     #[must_use]
     pub fn counter(&self, name: &str) -> u64 {
+        if let Some(ch) = self.par.get() {
+            return parallel::lane_counter_read(&self.shared.par, ch, name);
+        }
         self.shared.kernel.lock().nodes[self.node as usize]
             .counters
             .get(name)
@@ -652,6 +736,10 @@ impl NodeCtx {
             (dst as usize) < self.n_nodes,
             "datagram to unknown node {dst}"
         );
+        if let Some(ch) = self.par.get() {
+            parallel::lane_send(&self.shared.par, ch, dst, payload);
+            return;
+        }
         let mut k = self.shared.kernel.lock();
         let send_overhead = k.config.send_overhead;
         self.advance_locked(&mut k, Bucket::Unix, send_overhead);
@@ -666,9 +754,9 @@ impl NodeCtx {
             k.push_event(now, EvKind::Deliver { dst, dgram });
             return;
         }
-        k.net.messages += 1;
-        k.net.payload_bytes += dgram.payload.len() as u64;
-        k.net.classes.note(&dgram.payload);
+        k.nodes[self.node as usize].net.messages += 1;
+        k.nodes[self.node as usize].net.payload_bytes += dgram.payload.len() as u64;
+        k.nodes[self.node as usize].net.classes.note(&dgram.payload);
         k.nodes[self.node as usize].counters.add("net.sent", 1);
         k.nodes[self.node as usize]
             .counters
@@ -688,6 +776,9 @@ impl NodeCtx {
     /// Charges the per-datagram receive overhead (`Unix`) when a datagram is
     /// returned.
     pub fn try_recv(&self) -> Option<Datagram> {
+        if let Some(ch) = self.par.get() {
+            return parallel::lane_try_recv(&self.shared.par, ch);
+        }
         let mut k = self.shared.kernel.lock();
         let d = k.nodes[self.node as usize].mailbox.pop_front()?;
         let recv_overhead = k.config.recv_overhead;
@@ -700,6 +791,9 @@ impl NodeCtx {
     ///
     /// Returns `None` on timeout. `deadline` is an absolute virtual time.
     pub fn wait_recv(&self, deadline: Option<Ns>) -> Option<Datagram> {
+        if let Some(ch) = self.par.get() {
+            return parallel::lane_wait_recv(&self.shared.par, ch, deadline);
+        }
         let mut k = self.shared.kernel.lock();
         loop {
             if let Some(d) = k.nodes[self.node as usize].mailbox.pop_front() {
@@ -735,6 +829,9 @@ impl NodeCtx {
     /// delivery wakes every such thread so one of them can take the
     /// runtime lock and process the message.
     pub fn wait_mailbox(&self, deadline: Option<Ns>) -> bool {
+        if let Some(ch) = self.par.get() {
+            return parallel::lane_wait_mailbox(&self.shared.par, ch, deadline);
+        }
         let mut k = self.shared.kernel.lock();
         loop {
             if !k.nodes[self.node as usize].mailbox.is_empty() {
@@ -763,6 +860,9 @@ impl NodeCtx {
     /// mailbox is non-empty (used by transports to decide whether to poll).
     #[must_use]
     pub fn mailbox_nonempty(&self) -> bool {
+        if let Some(ch) = self.par.get() {
+            return parallel::lane_mailbox_nonempty(&self.shared.par, ch);
+        }
         !self.shared.kernel.lock().nodes[self.node as usize]
             .mailbox
             .is_empty()
@@ -775,6 +875,10 @@ impl NodeCtx {
     /// thread blocks on a remote operation, another can run (their CPU
     /// charges serialize through the node's single simulated CPU).
     pub fn spawn_thread(&self, f: impl FnOnce(NodeCtx) + Send + 'static) {
+        if let Some(ch) = self.par.get() {
+            parallel::lane_spawn(&self.shared.par, ch, Box::new(f));
+            return;
+        }
         let pid = {
             let mut k = self.shared.kernel.lock();
             let pid = k.procs.len();
@@ -792,12 +896,7 @@ impl NodeCtx {
             k.push_event(now, EvKind::Wake { pid, seq: 1 });
             pid
         };
-        let ctx = NodeCtx {
-            shared: Arc::clone(&self.shared),
-            pid,
-            node: self.node,
-            n_nodes: self.n_nodes,
-        };
+        let ctx = NodeCtx::new_internal(Arc::clone(&self.shared), pid, self.node, self.n_nodes);
         // The thread handle is detached; `run` joins only registered
         // threads, but teardown poisons all procs, so the thread always
         // exits. Detaching keeps `spawn_thread` usable from inside procs.
@@ -866,7 +965,12 @@ pub struct SimReport {
     pub node_buckets: Vec<TimeBuckets>,
     /// Per-node counters, indexed by node id.
     pub node_counters: Vec<Counters>,
-    /// Wire-level statistics.
+    /// Per-node shards of the wire statistics, indexed by node id: send-side
+    /// figures on the sender's shard, delivery-side figures on the
+    /// receiver's. `net` is their node-id-order merge (plus the global
+    /// `in_flight`), so shard sums always reconcile with the totals.
+    pub node_net: Vec<NetStats>,
+    /// Wire-level statistics (deterministic merge of `node_net`).
     pub net: NetStats,
     /// Bandwidth the run was configured with (for utilization).
     pub bandwidth_bps: u64,

@@ -47,6 +47,15 @@ pub struct SimConfig {
     pub jitter_max: Ns,
     /// Seed for the delivery-jitter stream (independent of `loss_seed`).
     pub jitter_seed: u64,
+    /// Run the conservative parallel scheduler: procs on *different* nodes
+    /// whose work lies within the safe lookahead window execute
+    /// concurrently on real host threads, while a serial replay of their
+    /// operation logs keeps every kernel transition — event order, wire
+    /// serialization, RNG draws, statistics — bit-identical to the
+    /// single-baton runner. Off by default. Automatically falls back to
+    /// serial whenever a [`crate::WireObserver`] (checker, tracer) is
+    /// attached, since observers require a single serialized wire view.
+    pub parallel: bool,
 }
 
 impl Default for SimConfig {
@@ -81,6 +90,7 @@ impl SimConfig {
             fault_plan: FaultPlan::default(),
             jitter_max: 0,
             jitter_seed: 0,
+            parallel: false,
         }
     }
 
@@ -100,7 +110,17 @@ impl SimConfig {
             fault_plan: FaultPlan::default(),
             jitter_max: 0,
             jitter_seed: 0,
+            parallel: false,
         }
+    }
+
+    /// Returns `self` with the conservative parallel scheduler enabled (or
+    /// disabled) — builder style. Every `SimReport` fingerprint is
+    /// bit-identical either way; parallelism only changes host wall-clock.
+    #[must_use]
+    pub fn parallel(mut self, on: bool) -> Self {
+        self.parallel = on;
+        self
     }
 
     /// Returns `self` with the given loss probability and seed (builder style).

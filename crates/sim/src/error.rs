@@ -20,20 +20,25 @@ pub struct BlockedProc {
     pub node: NodeId,
     /// Parked waiting for a mailbox delivery (vs. a timer or the baton).
     pub waiting_for_msg: bool,
+    /// The proc's virtual time when the run failed. In serial mode this is
+    /// the global clock; in parallel mode it is the proc's lane clock,
+    /// which names how far each blocked lane had progressed.
+    pub at: Ns,
 }
 
 impl fmt::Display for BlockedProc {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "proc {} on node {} ({})",
+            "proc {} on node {} ({}, t = {} ns)",
             self.pid,
             self.node,
             if self.waiting_for_msg {
                 "waiting for a message"
             } else {
                 "parked"
-            }
+            },
+            self.at
         )
     }
 }
@@ -206,6 +211,7 @@ mod tests {
                 pid: 0,
                 node: 0,
                 waiting_for_msg: true,
+                at: 123,
             }],
             crashed: vec![1],
         };

@@ -94,6 +94,12 @@ pub(crate) struct NodeState {
     pub cpu_free: Ns,
     pub buckets: TimeBuckets,
     pub counters: Counters,
+    /// This node's shard of the wire statistics. Send-side figures
+    /// (messages, bytes, loss) are charged to the sender's shard, delivery
+    /// figures (delivered, pause deferrals, crash drops) to the receiver's.
+    /// The report merges shards in node-id order, so totals are independent
+    /// of which node did what and identical to the historical global tally.
+    pub net: NetStats,
 }
 
 impl NodeState {
@@ -103,6 +109,7 @@ impl NodeState {
             cpu_free: 0,
             buckets: TimeBuckets::default(),
             counters: Counters::default(),
+            net: NetStats::default(),
         }
     }
 }
@@ -121,7 +128,6 @@ pub(crate) struct Kernel {
     pub live_procs: usize,
     /// Virtual time at which the shared Ethernet becomes free.
     pub medium_busy_until: Ns,
-    pub net: NetStats,
     pub loss_rng: Xoshiro256,
     /// Delivery-jitter stream; only consulted when `config.jitter_max > 0`,
     /// so jitter-free configs draw nothing and stay bit-identical.
@@ -163,7 +169,6 @@ impl Kernel {
             running: None,
             live_procs: 0,
             medium_busy_until: 0,
-            net: NetStats::default(),
             loss_rng,
             jitter_rng,
             pair_last_delivery: BTreeMap::new(),
@@ -218,18 +223,18 @@ impl Kernel {
             && self.loss_rng.next_f64() < self.config.loss_probability;
         let fault_drop = self.fault.frame_fate(src, dst, start);
         if base_drop {
-            self.net.dropped += 1;
+            self.nodes[src as usize].net.dropped += 1;
             return None;
         }
         match fault_drop {
             Some(DropCause::Burst) => {
-                self.net.dropped += 1;
-                self.net.dropped_burst += 1;
+                self.nodes[src as usize].net.dropped += 1;
+                self.nodes[src as usize].net.dropped_burst += 1;
                 None
             }
             Some(DropCause::Partition) => {
-                self.net.dropped += 1;
-                self.net.dropped_partition += 1;
+                self.nodes[src as usize].net.dropped += 1;
+                self.nodes[src as usize].net.dropped_partition += 1;
                 None
             }
             None => {

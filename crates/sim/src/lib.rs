@@ -46,6 +46,7 @@
 
 mod cluster;
 mod kernel;
+mod parallel;
 
 pub mod config;
 pub mod error;

@@ -2,6 +2,9 @@
 //! (plus SOR) across 1–4 nodes with a metrics-only tracer installed,
 //! writing `BENCH_paper.json` and printing a Markdown report with
 //! per-message-class cost attribution (§5.4's microcosts, end to end).
+//! Appends 8-node TSP and SOR rows run under the conservative parallel
+//! scheduler (`SimConfig::parallel(true)`), which is bit-identical to the
+//! serial runner and extends the scaling tables past the paper's testbed.
 //!
 //! Run with `cargo run --release --example report`. Environment:
 //!
@@ -9,7 +12,7 @@
 //! - `CARLOS_REPORT_OUT=path` — JSON destination (default
 //!   `BENCH_paper.json` in the current directory).
 
-use carlos::bench::report::{run_report, to_json, to_markdown, ReportOptions};
+use carlos::bench::report::{run_parallel_rows, run_report, to_json, to_markdown, ReportOptions};
 
 fn main() {
     let opts = ReportOptions::from_env();
@@ -18,10 +21,15 @@ fn main() {
         if opts.quick { "test" } else { "paper" },
         opts.max_nodes
     );
-    let rows = run_report(&opts).unwrap_or_else(|e| {
+    let mut rows = run_report(&opts).unwrap_or_else(|e| {
         eprintln!("report failed: {e}");
         std::process::exit(1);
     });
+    eprintln!("running 8-node TSP/SOR under the parallel scheduler...");
+    rows.extend(run_parallel_rows(&opts).unwrap_or_else(|e| {
+        eprintln!("parallel report failed: {e}");
+        std::process::exit(1);
+    }));
     let path =
         std::env::var("CARLOS_REPORT_OUT").unwrap_or_else(|_| "BENCH_paper.json".to_string());
     match std::fs::write(&path, to_json(&rows, &opts)) {
