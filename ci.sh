@@ -28,7 +28,12 @@ cargo run --release -q --example explore
 echo "==> trace profile (causal tracer + traced paper-table report)"
 cargo test -q -p carlos-trace
 cargo test -q -p carlos-bench
+# The quick report doubles as the wire-traffic regression gate: the
+# example compares its fresh TSP/Quicksort Lock n=4 rows against the
+# committed baseline and exits nonzero if messages or SYSTEM-class bytes
+# grew more than 5% (quick runs are deterministic, so growth is real).
 CARLOS_REPORT_QUICK=1 CARLOS_REPORT_OUT=target/BENCH_paper_quick.json \
+    CARLOS_REPORT_BASELINE=BENCH_paper_quick.json \
     cargo run --release -q --example report > target/report_quick.md
 grep -q '| TSP |' target/report_quick.md
 
@@ -44,18 +49,23 @@ grep -q 'Lock/par' target/report_parallel.md
 echo "==> wallclock bench (quick mode) -> BENCH_hotpath.json"
 CARLOS_BENCH_QUICK=1 cargo bench -p carlos-bench --bench wallclock
 
-# Parallel-scheduler speedup gate: only meaningful with real cores. On a
-# >= 4-core host the 4-node TSP run must not be slower under the parallel
-# scheduler; single-core hosts (e.g. this container) skip the gate, since
-# op-log machinery without parallelism is pure overhead.
+# Parallel-scheduler speedup gate. The measured serial/parallel ratio is
+# always recorded in BENCH_hotpath.json (and echoed here) so every CI run
+# leaves a traceable number; the >= 1.0 floor is only *enforced* on hosts
+# with >= 4 real cores — op-log machinery without parallelism is pure
+# overhead, so single-core containers would fail spuriously.
 cores=$(nproc)
+speedup=$(grep -o '"parallel_speedup_tsp_4node": [0-9.]*' BENCH_hotpath.json \
+    | awk '{print $2}')
+if [ -z "$speedup" ]; then
+    echo "==> parallel speedup gate: ratio missing from BENCH_hotpath.json" >&2
+    exit 1
+fi
 if [ "$cores" -ge 4 ]; then
-    speedup=$(grep -o '"parallel_speedup_tsp_4node": [0-9.]*' BENCH_hotpath.json \
-        | awk '{print $2}')
     echo "==> parallel speedup gate: ${speedup}x on ${cores} cores (need >= 1.0)"
     awk -v s="$speedup" 'BEGIN { exit !(s >= 1.0) }'
 else
-    echo "==> parallel speedup gate skipped (${cores} core(s) < 4)"
+    echo "==> parallel speedup recorded: ${speedup}x (gate skipped: ${cores} core(s) < 4)"
 fi
 
 echo "ci.sh: all green"

@@ -78,6 +78,12 @@ pub struct QsortConfig {
     pub core: CoreConfig,
     /// DSM page size.
     pub page_size: usize,
+    /// Variable-granularity layout hints: control words and descriptor
+    /// slots get fine coherence granules and the array gets 1 KiB granules
+    /// (one Bubblesort leaf spans a few granules instead of sharing 8 KiB
+    /// pages with other sorters' halves). Off by default — the legacy
+    /// layout and wire behavior are pinned by golden fingerprints.
+    pub granularity_hints: bool,
     /// Verify the result on every node (tests) or only on node 0 (paper
     /// runs: the master collects the sorted array once).
     pub verify_all_nodes: bool,
@@ -107,6 +113,7 @@ impl QsortConfig {
             sim: SimConfig::osdi94(),
             core: CoreConfig::osdi94(),
             page_size: 8192,
+            granularity_hints: false,
             verify_all_nodes: false,
             ack: AckMode::Implicit,
             check: None,
@@ -128,6 +135,7 @@ impl QsortConfig {
             sim: SimConfig::fast_test(),
             core: CoreConfig::fast_test(),
             page_size: 512,
+            granularity_hints: false,
             verify_all_nodes: true,
             ack: AckMode::Implicit,
             check: None,
@@ -155,18 +163,31 @@ struct Layout {
     slot_cap: usize,
 }
 
-fn layout(cfg: &QsortConfig) -> (Layout, usize) {
+fn layout(cfg: &QsortConfig) -> (Layout, usize, Vec<carlos_lrc::RegionSpec>) {
     let ps = cfg.page_size;
     let mut heap = CoherentHeap::new(1 << 28);
-    // Control variables on their own page; slots on the next; the array
-    // page-aligned after that (separate sharing units).
-    let stack_top = heap.alloc(4, 4);
-    let done = heap.alloc(4, 4);
-    let slots = heap.alloc(ps, ps);
     let slot_cap = 8192;
-    let _ = heap.alloc(slot_cap * 8, 1);
-    let array = heap.alloc(ps, ps);
-    let _ = heap.alloc(cfg.n_elements * 4, 1);
+    let (stack_top, done, slots, array);
+    if cfg.granularity_hints {
+        // Fine granules for the hot small data: the stack control words
+        // share one 64 B unit, and each 64 B slot granule holds eight
+        // 8-byte descriptors. The array gets 1 KiB granules, so a sorter
+        // fetches only the granules of its own subarray instead of whole
+        // 8 KiB pages half-filled with other sorters' leaves.
+        stack_top = heap.alloc_with_granule_eager(8, 64);
+        done = stack_top + 4;
+        slots = heap.alloc_with_granule_eager(slot_cap * 8, 64);
+        array = heap.alloc_with_granule(cfg.n_elements * 4, 1024);
+    } else {
+        // Control variables on their own page; slots on the next; the
+        // array page-aligned after that (separate sharing units).
+        stack_top = heap.alloc(4, 4);
+        done = heap.alloc(4, 4);
+        slots = heap.alloc(ps, ps);
+        let _ = heap.alloc(slot_cap * 8, 1);
+        array = heap.alloc(ps, ps);
+        let _ = heap.alloc(cfg.n_elements * 4, 1);
+    }
     let region = heap.used().next_multiple_of(ps);
     (
         Layout {
@@ -177,6 +198,7 @@ fn layout(cfg: &QsortConfig) -> (Layout, usize) {
             slot_cap,
         },
         region,
+        heap.regions(),
     )
 }
 
@@ -234,13 +256,14 @@ pub fn try_run_qsort(cfg: &QsortConfig) -> Result<QsortResult, carlos_sim::SimEr
 }
 
 fn qsort_node(cfg: &QsortConfig, ctx: carlos_sim::NodeCtx) -> (bool, bool) {
-    let (lay, region) = layout(cfg);
+    let (lay, region, regions) = layout(cfg);
     let lrc = LrcConfig {
         n_nodes: cfg.n_nodes,
         page_size: cfg.page_size,
         region_bytes: region,
         gc_threshold_records: 12_000,
         ownership: PageOwnership::SingleOwner(0),
+        regions,
     };
     let mut rt = Runtime::with_ack_mode(ctx, lrc, cfg.core.clone(), cfg.ack);
     if let Some(check) = &cfg.check {

@@ -44,6 +44,11 @@ pub struct SorConfig {
     pub core: CoreConfig,
     /// DSM page size.
     pub page_size: usize,
+    /// Variable-granularity layout hint: make the coherence unit exactly
+    /// one grid row (`cols * 8` bytes, when that is a power of two), so a
+    /// halo-row fetch moves one row instead of a page spanning two. Off by
+    /// default — legacy behavior is pinned by golden fingerprints.
+    pub granularity_hints: bool,
     /// Transport acknowledgement mode (switch to [`AckMode::Arq`] to run
     /// under injected loss, e.g. in chaos tests).
     pub ack: AckMode,
@@ -71,6 +76,7 @@ impl SorConfig {
             sim: SimConfig::osdi94(),
             core: CoreConfig::osdi94(),
             page_size: 8192,
+            granularity_hints: false,
             ack: AckMode::Implicit,
             check: None,
             trace: None,
@@ -89,6 +95,7 @@ impl SorConfig {
             sim: SimConfig::fast_test(),
             core: CoreConfig::fast_test(),
             page_size: 256,
+            granularity_hints: false,
             ack: AckMode::Implicit,
             check: None,
             trace: None,
@@ -215,7 +222,12 @@ pub fn try_run_sor(cfg: &SorConfig) -> Result<SorResult, carlos_sim::SimError> {
 fn sor_node(cfg: &SorConfig, ctx: carlos_sim::NodeCtx) -> Vec<f64> {
     let (rows, cols) = (cfg.rows, cfg.cols);
     let mut heap = CoherentHeap::new(rows * cols * 8 + cfg.page_size);
-    let grid_addr = heap.alloc(rows * cols * 8, 8);
+    let row_bytes = cols * 8;
+    let grid_addr = if cfg.granularity_hints && row_bytes.is_power_of_two() {
+        heap.alloc_with_granule(rows * row_bytes, row_bytes)
+    } else {
+        heap.alloc(rows * cols * 8, 8)
+    };
     let region = heap.used().next_multiple_of(cfg.page_size);
     let lrc = LrcConfig {
         n_nodes: cfg.n_nodes,
@@ -228,6 +240,7 @@ fn sor_node(cfg: &SorConfig, ctx: carlos_sim::NodeCtx) -> Vec<f64> {
         // configurations did for SOR-class workloads.
         gc_threshold_records: 400_000,
         ownership: PageOwnership::Banded,
+        regions: heap.regions(),
     };
     let mut rt = Runtime::with_ack_mode(ctx, lrc, cfg.core.clone(), cfg.ack);
     if let Some(check) = &cfg.check {

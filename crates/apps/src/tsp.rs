@@ -69,6 +69,12 @@ pub struct TspConfig {
     pub core: CoreConfig,
     /// DSM page size.
     pub page_size: usize,
+    /// Variable-granularity layout hints: give the queue control words and
+    /// each handful of task descriptors their own fine coherence granule
+    /// (via `CoherentHeap::alloc_with_granule`) instead of sharing whole
+    /// pages. Off by default — the legacy layout and wire behavior are
+    /// pinned by golden fingerprints.
+    pub granularity_hints: bool,
     /// Transport acknowledgement mode (switch to [`AckMode::Arq`] to run
     /// under injected loss, e.g. in chaos tests).
     pub ack: AckMode,
@@ -96,6 +102,7 @@ impl TspConfig {
             sim: SimConfig::osdi94(),
             core: CoreConfig::osdi94(),
             page_size: 8192,
+            granularity_hints: false,
             ack: AckMode::Implicit,
             check: None,
             trace: None,
@@ -117,6 +124,7 @@ impl TspConfig {
             sim: SimConfig::fast_test(),
             core: CoreConfig::fast_test(),
             page_size: 512,
+            granularity_hints: false,
             ack: AckMode::Implicit,
             check: None,
             trace: None,
@@ -342,17 +350,30 @@ struct Layout {
     slot_cap: usize,
 }
 
-fn layout(cfg: &TspConfig) -> (Layout, usize) {
+fn layout(cfg: &TspConfig) -> (Layout, usize, Vec<carlos_lrc::RegionSpec>) {
     let mut heap = CoherentHeap::new(1 << 22);
-    let best = heap.alloc(4, 4);
-    // Queue control words share one page (they are read and written
-    // together under the queue lock); slots and the bound live on separate
-    // pages, like the paper's separate locks for queue and bound.
-    let q_top = heap.alloc(cfg.page_size.max(8), cfg.page_size.max(8));
-    let q_outstanding = q_top + 4;
     let slot_cap = 16_384;
-    let slots = heap.alloc(cfg.page_size.max(8), cfg.page_size.max(8));
-    let _ = heap.alloc(slot_cap * TASK_BYTES, 1);
+    let (best, q_top, slots);
+    if cfg.granularity_hints {
+        // Fine granules: the bound and the queue control words each get a
+        // 64 B coherence unit, and the task table is carved into 64 B
+        // granules (~7 descriptors each). A pop then fetches one task's
+        // granule from its one or two recent writers instead of a whole
+        // 8 KiB page's diffs from every node that pushed anywhere on it.
+        best = heap.alloc_with_granule_eager(4, 64);
+        q_top = heap.alloc_with_granule_eager(8, 64);
+        slots = heap.alloc_with_granule_eager(slot_cap * TASK_BYTES, 64);
+    } else {
+        best = heap.alloc(4, 4);
+        // Queue control words share one page (they are read and written
+        // together under the queue lock); slots and the bound live on
+        // separate pages, like the paper's separate locks for queue and
+        // bound.
+        q_top = heap.alloc(cfg.page_size.max(8), cfg.page_size.max(8));
+        slots = heap.alloc(cfg.page_size.max(8), cfg.page_size.max(8));
+        let _ = heap.alloc(slot_cap * TASK_BYTES, 1);
+    }
+    let q_outstanding = q_top + 4;
     let region = heap.used().next_multiple_of(cfg.page_size);
     (
         Layout {
@@ -363,6 +384,7 @@ fn layout(cfg: &TspConfig) -> (Layout, usize) {
             slot_cap,
         },
         region,
+        heap.regions(),
     )
 }
 
@@ -539,13 +561,14 @@ fn ann(cfg: &TspConfig, normal: Annotation) -> Annotation {
 
 fn tsp_node(cfg: &TspConfig, ctx: carlos_sim::NodeCtx) -> (u32, u64) {
     let n_nodes = cfg.n_nodes;
-    let (lay, region) = layout(cfg);
+    let (lay, region, regions) = layout(cfg);
     let lrc = LrcConfig {
         n_nodes,
         page_size: cfg.page_size,
         region_bytes: region,
         gc_threshold_records: 12_000,
         ownership: PageOwnership::SingleOwner(0),
+        regions,
     };
     let mut rt = Runtime::with_ack_mode(ctx, lrc, cfg.core.clone(), cfg.ack);
     if let Some(check) = &cfg.check {

@@ -65,6 +65,12 @@ pub struct WaterConfig {
     pub core: CoreConfig,
     /// DSM page size.
     pub page_size: usize,
+    /// Variable-granularity layout hint: carve the molecule table into
+    /// 128 B coherence granules so a per-molecule lock–update–unlock moves
+    /// that molecule's live fields, not an 8 KiB page shared by a dozen
+    /// molecules. Off by default — legacy behavior is pinned by golden
+    /// fingerprints.
+    pub granularity_hints: bool,
     /// Collect final state on every node (tests) or only node 0 (paper).
     pub collect_all_nodes: bool,
     /// Transport acknowledgement mode (switch to [`AckMode::Arq`] to run
@@ -94,6 +100,7 @@ impl WaterConfig {
             sim: SimConfig::osdi94(),
             core: CoreConfig::osdi94(),
             page_size: 8192,
+            granularity_hints: false,
             collect_all_nodes: false,
             ack: AckMode::Implicit,
             check: None,
@@ -116,6 +123,7 @@ impl WaterConfig {
             sim: SimConfig::fast_test(),
             core: CoreConfig::fast_test(),
             page_size: 512,
+            granularity_hints: false,
             collect_all_nodes: true,
             ack: AckMode::Implicit,
             check: None,
@@ -148,13 +156,26 @@ struct Layout {
     mols: usize,
 }
 
-fn layout(cfg: &WaterConfig) -> (Layout, usize) {
+fn layout(cfg: &WaterConfig) -> (Layout, usize, Vec<carlos_lrc::RegionSpec>) {
     let ps = cfg.page_size;
     let mut heap = CoherentHeap::new(1 << 26);
-    let mols = heap.alloc(ps, ps);
-    let _ = heap.alloc(cfg.n_molecules * MOL_BYTES, 1);
+    let mols = if cfg.granularity_hints {
+        // Eager 4 KiB granules over the molecule table (about six 672-byte
+        // molecule records each). Every node sweeps the whole table every
+        // force phase, so updates piggyback on the phase's releases (eager)
+        // rather than being re-fetched; half-page granules still halve the
+        // false sharing and diff scan of the 8 KiB default. Finer granules
+        // cut SYSTEM bytes further but cost more messages than they save:
+        // the sweep re-reads everything, so per-molecule invalidation just
+        // fragments the same data into more frames.
+        heap.alloc_with_granule_eager(cfg.n_molecules * MOL_BYTES, 4096)
+    } else {
+        let mols = heap.alloc(ps, ps);
+        let _ = heap.alloc(cfg.n_molecules * MOL_BYTES, 1);
+        mols
+    };
     let region = heap.used().next_multiple_of(ps);
-    (Layout { mols }, region)
+    (Layout { mols }, region, heap.regions())
 }
 
 /// Block partition: the owner of molecule `m`.
@@ -281,13 +302,14 @@ fn pair_force(pa: [f64; 3], pb: [f64; 3], cutoff2: f64) -> [f64; 3] {
 
 #[allow(clippy::too_many_lines)]
 fn water_node(cfg: &WaterConfig, ctx: carlos_sim::NodeCtx) -> (Vec<[f64; 3]>, f64) {
-    let (lay, region) = layout(cfg);
+    let (lay, region, regions) = layout(cfg);
     let lrc = LrcConfig {
         n_nodes: cfg.n_nodes,
         page_size: cfg.page_size,
         region_bytes: region,
         gc_threshold_records: 12_000,
         ownership: PageOwnership::SingleOwner(0),
+        regions,
     };
     let mut rt = Runtime::with_ack_mode(ctx, lrc, cfg.core.clone(), cfg.ack);
     if let Some(check) = &cfg.check {

@@ -76,6 +76,20 @@ fn hybrid2_moves_more_consistency_data_than_hybrid1() {
 }
 
 #[test]
+fn variable_granularity_sorts_correctly() {
+    for variant in [QsortVariant::Lock, QsortVariant::Hybrid1] {
+        for n in [2, 4] {
+            let mut cfg = QsortConfig::test(n, variant);
+            cfg.granularity_hints = true;
+            cfg.core = cfg.core.with_coalesced_fetches().with_aggregated_notices();
+            let r = run_qsort(&cfg);
+            assert!(r.sorted, "{variant:?} with hints on {n} nodes unsorted");
+            assert!(r.permutation_ok);
+        }
+    }
+}
+
+#[test]
 fn runs_are_deterministic() {
     let a = run_qsort(&QsortConfig::test(3, QsortVariant::Hybrid1));
     let b = run_qsort(&QsortConfig::test(3, QsortVariant::Hybrid1));

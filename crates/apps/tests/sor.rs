@@ -36,6 +36,21 @@ fn update_strategy_matches_reference_bitwise() {
 }
 
 #[test]
+fn variable_granularity_matches_reference_bitwise() {
+    let reference = sequential_reference(&SorConfig::test(1));
+    for n in [2, 4] {
+        let mut cfg = SorConfig::test(n);
+        cfg.granularity_hints = true;
+        cfg.core = cfg.core.with_coalesced_fetches().with_aggregated_notices();
+        let r = run_sor(&cfg);
+        assert_eq!(
+            r.grid, reference,
+            "row-granule SOR on {n} nodes must stay bitwise exact"
+        );
+    }
+}
+
+#[test]
 fn heat_diffuses_downward() {
     let cfg = SorConfig::test(2);
     let r = run_sor(&cfg);

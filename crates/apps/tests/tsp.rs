@@ -72,6 +72,32 @@ fn all_release_variant_still_correct() {
 }
 
 #[test]
+fn variable_granularity_finds_optimum() {
+    // Granularity hints plus the coalesced/aggregated wire modes must not
+    // change the computed result, only the traffic.
+    for variant in [TspVariant::Lock, TspVariant::Hybrid] {
+        let mut cfg = TspConfig::test(4, variant);
+        cfg.granularity_hints = true;
+        cfg.core = cfg.core.with_coalesced_fetches().with_aggregated_notices();
+        let opt = Cities::generate(cfg.n_cities, cfg.seed).held_karp();
+        let r = run_tsp(&cfg);
+        assert_eq!(r.best_len, opt, "{variant:?} with hints missed the optimum");
+    }
+}
+
+#[test]
+fn variable_granularity_is_deterministic() {
+    let mut cfg = TspConfig::test(3, TspVariant::Lock);
+    cfg.granularity_hints = true;
+    cfg.core = cfg.core.with_coalesced_fetches().with_aggregated_notices();
+    let a = run_tsp(&cfg);
+    let b = run_tsp(&cfg);
+    assert_eq!(a.best_len, b.best_len);
+    assert_eq!(a.app.report.elapsed, b.app.report.elapsed);
+    assert_eq!(a.app.messages, b.app.messages);
+}
+
+#[test]
 fn runs_are_deterministic() {
     let cfg = TspConfig::test(3, TspVariant::Hybrid);
     let a = run_tsp(&cfg);

@@ -80,6 +80,21 @@ fn runs_are_deterministic() {
 }
 
 #[test]
+fn variable_granularity_matches_sequential() {
+    let seq = run_water(&WaterConfig::test(1, WaterVariant::Lock));
+    for variant in [WaterVariant::Lock, WaterVariant::Hybrid] {
+        let mut cfg = WaterConfig::test(4, variant);
+        cfg.granularity_hints = true;
+        cfg.core = cfg.core.with_coalesced_fetches().with_aggregated_notices();
+        let r = run_water(&cfg);
+        assert!(
+            close(&seq.positions, &r.positions, 1e-6),
+            "per-molecule granules diverged for {variant:?}"
+        );
+    }
+}
+
+#[test]
 fn update_strategy_matches_invalidate() {
     let seq = run_water(&WaterConfig::test(1, WaterVariant::Lock));
     for variant in [WaterVariant::Lock, WaterVariant::Hybrid] {

@@ -32,12 +32,16 @@ const PAGE: usize = 4096;
 /// A (twin, current) pair where roughly one byte in `change_every` moved.
 /// `change_every == 0` means no changes (fully clean).
 fn page_pair(change_every: usize) -> (Vec<u8>, Vec<u8>) {
+    sized_pair(PAGE, change_every)
+}
+
+fn sized_pair(len: usize, change_every: usize) -> (Vec<u8>, Vec<u8>) {
     let mut rng = Xoshiro256::new(42);
-    let twin: Vec<u8> = (0..PAGE).map(|_| rng.next_u64() as u8).collect();
+    let twin: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
     let mut cur = twin.clone();
     if change_every > 0 {
         let mut i = change_every / 2;
-        while i < PAGE {
+        while i < len {
             cur[i] = cur[i].wrapping_add(1);
             i += change_every;
         }
@@ -64,6 +68,41 @@ fn bench_diff_create(c: &mut Criterion) {
         });
         g.bench_function(format!("naive_{label}"), |b| {
             b.iter(|| Diff::create_naive(black_box(&twin), black_box(&cur)));
+        });
+    }
+    g.finish();
+}
+
+/// The variable-granularity coherence sizes: a 64 B fine granule (one
+/// cache-line-ish hot scalar), a 256 B fine granule, the legacy 8 KiB
+/// page, and a 1 MiB bulk granule. One create/apply row each at sparse
+/// dirtiness, so BENCH_hotpath.json shows how twin/diff cost scales with
+/// the granule the region table picks.
+const GRANULES: &[(&str, usize)] = &[
+    ("64B", 64),
+    ("256B", 256),
+    ("8KiB", 8192),
+    ("1MiB", 1 << 20),
+];
+
+fn bench_diff_granules(c: &mut Criterion) {
+    let mut g = c.benchmark_group("diff_granule");
+    for &(label, len) in GRANULES {
+        // Sparse dirtiness (one byte in 64) — the demand-fetch common case.
+        let (twin, cur) = sized_pair(len, 64);
+        g.bench_function(format!("create_{label}"), |b| {
+            b.iter(|| Diff::create(black_box(&twin), black_box(&cur)));
+        });
+        let diff = Diff::create(&twin, &cur);
+        g.bench_function(format!("apply_{label}"), |b| {
+            b.iter_batched(
+                || twin.clone(),
+                |mut page| {
+                    diff.apply(&mut page);
+                    page
+                },
+                BatchSize::SmallInput,
+            );
         });
     }
     g.finish();
@@ -387,6 +426,7 @@ fn main() {
         std::env::var("CARLOS_BENCH_QUICK").is_ok_and(|v| v != "0" && !v.is_empty());
     let mut c = Criterion::default().configure_from_args();
     bench_diff_create(&mut c);
+    bench_diff_granules(&mut c);
     bench_diff_apply(&mut c);
     bench_codec(&mut c);
     let e2e = bench_e2e(quick);

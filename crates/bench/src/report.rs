@@ -89,6 +89,18 @@ pub struct ReportRow {
     pub fetch_diffs: u64,
     /// Whole-page fetches observed.
     pub fetch_pages: u64,
+    /// Fulfilled fetches of sub-page (fine) granules.
+    pub granule_fine_fetches: u64,
+    /// Payload bytes delivered for fine granules.
+    pub granule_fine_bytes: u64,
+    /// Fulfilled fetches of base-page-sized granules.
+    pub granule_page_fetches: u64,
+    /// Payload bytes delivered for page granules.
+    pub granule_page_bytes: u64,
+    /// Fulfilled fetches of super-page (bulk) granules.
+    pub granule_bulk_fetches: u64,
+    /// Payload bytes delivered for bulk granules.
+    pub granule_bulk_bytes: u64,
     /// Total virtual ns spent blocked in lock acquires.
     pub wait_lock_ns: u64,
     /// Total virtual ns spent blocked at barriers.
@@ -149,6 +161,12 @@ fn finish_row(
         classes,
         fetch_diffs: m.counter("fetch.diffs"),
         fetch_pages: m.counter("fetch.page"),
+        granule_fine_fetches: m.counter("fetch.class.fine"),
+        granule_fine_bytes: m.counter("fetch.bytes.fine"),
+        granule_page_fetches: m.counter("fetch.class.page"),
+        granule_page_bytes: m.counter("fetch.bytes.page"),
+        granule_bulk_fetches: m.counter("fetch.class.bulk"),
+        granule_bulk_bytes: m.counter("fetch.bytes.bulk"),
         wait_lock_ns: wait_sum("wait.lock acquire"),
         wait_barrier_ns: wait_sum("wait.barrier"),
         paper,
@@ -271,6 +289,108 @@ pub fn run_report(opts: &ReportOptions) -> Result<Vec<ReportRow>, SimError> {
         }
     }
 
+    // Variable-granularity rows ("+vg"): the same Lock-variant workloads
+    // with per-region granule hints, coalesced demand fetches, and
+    // aggregated write notices — the traffic-reduction configuration. The
+    // legacy rows above are untouched, so the before/after comparison is
+    // readable from a single document.
+    {
+        let mut single = 0.0;
+        for n in ns.clone() {
+            let tracer = Tracer::metrics_only(n);
+            let mut cfg = if opts.quick {
+                let mut cfg = TspConfig::test(n, TspVariant::Lock);
+                cfg.core = CoreConfig::osdi94();
+                cfg
+            } else {
+                TspConfig::paper(n, TspVariant::Lock)
+            };
+            cfg.granularity_hints = true;
+            cfg.core = cfg.core.with_coalesced_fetches().with_aggregated_notices();
+            cfg.trace = Some(tracer.clone());
+            let r = try_run_tsp(&cfg)?;
+            if n == 1 {
+                single = r.app.secs;
+            }
+            rows.push(finish_row("TSP", "Lock+vg", n, &r.app, single, &tracer, None));
+        }
+    }
+
+    {
+        let mut single = 0.0;
+        for n in ns.clone() {
+            let tracer = Tracer::metrics_only(n);
+            let mut cfg = if opts.quick {
+                let mut cfg = QsortConfig::test(n, QsortVariant::Lock);
+                cfg.core = CoreConfig::osdi94();
+                cfg
+            } else {
+                QsortConfig::paper(n, QsortVariant::Lock)
+            };
+            cfg.granularity_hints = true;
+            cfg.core = cfg.core.with_coalesced_fetches().with_aggregated_notices();
+            cfg.trace = Some(tracer.clone());
+            let r = try_run_qsort(&cfg)?;
+            assert!(r.sorted && r.permutation_ok, "vg report run must be correct");
+            if n == 1 {
+                single = r.app.secs;
+            }
+            rows.push(finish_row(
+                "Quicksort",
+                "Lock+vg",
+                n,
+                &r.app,
+                single,
+                &tracer,
+                None,
+            ));
+        }
+    }
+
+    {
+        let mut single = 0.0;
+        for n in ns.clone() {
+            let tracer = Tracer::metrics_only(n);
+            let mut cfg = if opts.quick {
+                let mut cfg = WaterConfig::test(n, WaterVariant::Lock);
+                cfg.core = CoreConfig::osdi94();
+                cfg
+            } else {
+                WaterConfig::paper(n, WaterVariant::Lock)
+            };
+            cfg.granularity_hints = true;
+            cfg.core = cfg.core.with_coalesced_fetches().with_aggregated_notices();
+            cfg.trace = Some(tracer.clone());
+            let r = try_run_water(&cfg)?;
+            if n == 1 {
+                single = r.app.secs;
+            }
+            rows.push(finish_row("Water", "Lock+vg", n, &r.app, single, &tracer, None));
+        }
+    }
+
+    {
+        let mut single = 0.0;
+        for n in ns.clone() {
+            let tracer = Tracer::metrics_only(n);
+            let mut cfg = if opts.quick {
+                let mut cfg = SorConfig::test(n);
+                cfg.core = CoreConfig::osdi94();
+                cfg
+            } else {
+                SorConfig::paper_scale(n)
+            };
+            cfg.granularity_hints = true;
+            cfg.core = cfg.core.with_coalesced_fetches().with_aggregated_notices();
+            cfg.trace = Some(tracer.clone());
+            let r = try_run_sor(&cfg)?;
+            if n == 1 {
+                single = r.app.secs;
+            }
+            rows.push(finish_row("SOR", "-+vg", n, &r.app, single, &tracer, None));
+        }
+    }
+
     Ok(rows)
 }
 
@@ -296,6 +416,12 @@ fn parallel_row(
         classes: Vec::new(),
         fetch_diffs: 0,
         fetch_pages: 0,
+        granule_fine_fetches: 0,
+        granule_fine_bytes: 0,
+        granule_page_fetches: 0,
+        granule_page_bytes: 0,
+        granule_bulk_fetches: 0,
+        granule_bulk_bytes: 0,
         wait_lock_ns: 0,
         wait_barrier_ns: 0,
         paper: None,
@@ -373,6 +499,17 @@ pub fn to_json(rows: &[ReportRow], opts: &ReportOptions) -> String {
             "     \"fetch_diffs\": {}, \"fetch_pages\": {}, \"wait_lock_ns\": {}, \
              \"wait_barrier_ns\": {},\n",
             r.fetch_diffs, r.fetch_pages, r.wait_lock_ns, r.wait_barrier_ns
+        ));
+        out.push_str(&format!(
+            "     \"granule_fine_fetches\": {}, \"granule_fine_bytes\": {}, \
+             \"granule_page_fetches\": {}, \"granule_page_bytes\": {}, \
+             \"granule_bulk_fetches\": {}, \"granule_bulk_bytes\": {},\n",
+            r.granule_fine_fetches,
+            r.granule_fine_bytes,
+            r.granule_page_fetches,
+            r.granule_page_bytes,
+            r.granule_bulk_fetches,
+            r.granule_bulk_bytes
         ));
         out.push_str("     \"classes\": [");
         for (j, c) in r.classes.iter().enumerate() {
@@ -455,7 +592,98 @@ pub fn to_markdown(rows: &[ReportRow]) -> String {
             ));
         }
     }
+    out.push_str("\n## Per-granule-class demand traffic (largest cluster)\n\n");
+    out.push_str(
+        "| App | Version | Fine fetches | Fine B | Page fetches | Page B | Bulk fetches | Bulk B |\n\
+         |---|---|--:|--:|--:|--:|--:|--:|\n",
+    );
+    for r in rows.iter().filter(|r| r.n == max_n && !r.classes.is_empty()) {
+        out.push_str(&format!(
+            "| {} | {} | {} | {} | {} | {} | {} | {} |\n",
+            r.app,
+            r.variant,
+            r.granule_fine_fetches,
+            r.granule_fine_bytes,
+            r.granule_page_fetches,
+            r.granule_page_bytes,
+            r.granule_bulk_fetches,
+            r.granule_bulk_bytes
+        ));
+    }
     out
+}
+
+/// The wire-traffic regression gate: compares the freshly-run rows
+/// against a committed baseline report JSON and rejects the run if the
+/// legacy TSP or Quicksort Lock n=4 rows grew their total message count
+/// or SYSTEM-class payload bytes by more than `TRAFFIC_TOLERANCE`.
+/// Returns one human-readable comparison line per gated metric.
+///
+/// # Errors
+///
+/// Returns a description of the first regression, or of a baseline /
+/// report row that is missing or malformed.
+pub fn traffic_gate(rows: &[ReportRow], baseline_json: &str) -> Result<Vec<String>, String> {
+    /// Quick-mode runs are deterministic, so any growth is a real protocol
+    /// change; 5% headroom only forgives intentional small reshapes.
+    const TRAFFIC_TOLERANCE: f64 = 1.05;
+
+    let doc = carlos_trace::json::parse(baseline_json)
+        .map_err(|e| format!("baseline JSON does not parse: {e:?}"))?;
+    let baseline_rows = doc
+        .get("rows")
+        .and_then(carlos_trace::JsonValue::as_array)
+        .ok_or_else(|| "baseline JSON has no rows array".to_string())?;
+    let field = |row: &carlos_trace::JsonValue, key: &str| -> Option<u64> {
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        row.get(key).and_then(|v| v.as_f64()).map(|v| v as u64)
+    };
+    let baseline_traffic = |app: &str, variant: &str, n: f64| -> Option<(u64, u64)> {
+        let row = baseline_rows.iter().find(|r| {
+            r.get("app").and_then(carlos_trace::JsonValue::as_str) == Some(app)
+                && r.get("variant").and_then(carlos_trace::JsonValue::as_str) == Some(variant)
+                && r.get("n").and_then(carlos_trace::JsonValue::as_f64) == Some(n)
+        })?;
+        let messages = field(row, "messages")?;
+        let sys_bytes = row
+            .get("classes")
+            .and_then(carlos_trace::JsonValue::as_array)?
+            .iter()
+            .find(|c| c.get("class").and_then(carlos_trace::JsonValue::as_str) == Some("SYSTEM"))
+            .and_then(|c| field(c, "bytes"))
+            .unwrap_or(0);
+        Some((messages, sys_bytes))
+    };
+
+    let mut lines = Vec::new();
+    for (app, variant) in [("TSP", "Lock"), ("Quicksort", "Lock")] {
+        let (base_msgs, base_sys) = baseline_traffic(app, variant, 4.0)
+            .ok_or_else(|| format!("baseline has no {app}/{variant} n=4 row"))?;
+        let row = rows
+            .iter()
+            .find(|r| r.app == app && r.variant == variant && r.n == 4)
+            .ok_or_else(|| format!("report has no {app}/{variant} n=4 row"))?;
+        let sys = row
+            .classes
+            .iter()
+            .find(|c| c.class == "SYSTEM")
+            .map_or(0, |c| c.bytes);
+        #[allow(clippy::cast_precision_loss)]
+        for (metric, now, base) in [
+            ("messages", row.messages, base_msgs),
+            ("SYSTEM bytes", sys, base_sys),
+        ] {
+            if now as f64 > base as f64 * TRAFFIC_TOLERANCE {
+                return Err(format!(
+                    "{app}/{variant} n=4 {metric} regressed: {now} vs baseline {base} (>5%)"
+                ));
+            }
+            lines.push(format!(
+                "{app}/{variant} n=4 {metric}: {now} (baseline {base})"
+            ));
+        }
+    }
+    Ok(lines)
 }
 
 #[cfg(test)]
@@ -472,8 +700,9 @@ mod tests {
             max_nodes: 2,
         };
         let rows = run_report(&opts).expect("quick report runs clean");
-        // 7 (app, variant) groups × 2 cluster sizes.
-        assert_eq!(rows.len(), 14);
+        // 7 legacy (app, variant) groups plus 4 variable-granularity
+        // groups, × 2 cluster sizes.
+        assert_eq!(rows.len(), 22);
         for r in &rows {
             assert!(r.secs > 0.0, "{}/{} has zero elapsed", r.app, r.variant);
             if r.n > 1 {
@@ -499,6 +728,79 @@ mod tests {
         assert_eq!(parsed.len(), rows.len());
         let md = to_markdown(&rows);
         assert!(md.contains("| TSP |") && md.contains("| SOR |"));
+        assert!(md.contains("Per-granule-class demand traffic"));
+        // The variable-granularity rows actually exercise non-page
+        // granules and the per-class traffic columns see them.
+        let vg: Vec<_> = rows.iter().filter(|r| r.variant.ends_with("+vg")).collect();
+        assert_eq!(vg.len(), 8);
+        assert!(
+            vg.iter()
+                .any(|r| r.n > 1 && (r.granule_fine_fetches > 0 || r.granule_bulk_fetches > 0)),
+            "variable-granularity rows recorded no non-page granule fetches"
+        );
+    }
+
+    fn gate_row(app: &'static str, messages: u64, sys_bytes: u64) -> ReportRow {
+        ReportRow {
+            app,
+            variant: "Lock",
+            n: 4,
+            secs: 1.0,
+            speedup: 1.0,
+            messages,
+            avg_bytes: 100,
+            util: 0.1,
+            classes: vec![ClassCost {
+                class: "SYSTEM",
+                sent: 10,
+                dispatched: 10,
+                bytes: sys_bytes,
+                cost_ns: 1,
+                mean_latency_ns: 1,
+            }],
+            fetch_diffs: 1,
+            fetch_pages: 1,
+            granule_fine_fetches: 0,
+            granule_fine_bytes: 0,
+            granule_page_fetches: 1,
+            granule_page_bytes: 100,
+            granule_bulk_fetches: 0,
+            granule_bulk_bytes: 0,
+            wait_lock_ns: 0,
+            wait_barrier_ns: 0,
+            paper: None,
+        }
+    }
+
+    /// The traffic gate passes a run against its own JSON, tolerates small
+    /// (<5%) growth, and rejects anything beyond on either metric.
+    #[test]
+    fn traffic_gate_catches_regressions() {
+        let opts = ReportOptions {
+            quick: true,
+            max_nodes: 4,
+        };
+        let baseline_rows = vec![gate_row("TSP", 1000, 50_000), gate_row("Quicksort", 2000, 80_000)];
+        let baseline = to_json(&baseline_rows, &opts);
+
+        let lines = traffic_gate(&baseline_rows, &baseline).expect("self-comparison passes");
+        assert_eq!(lines.len(), 4, "two metrics per gated app: {lines:?}");
+
+        let small_growth = vec![gate_row("TSP", 1040, 51_000), gate_row("Quicksort", 2000, 80_000)];
+        assert!(traffic_gate(&small_growth, &baseline).is_ok(), "<5% growth tolerated");
+
+        let msg_regress = vec![gate_row("TSP", 1100, 50_000), gate_row("Quicksort", 2000, 80_000)];
+        let err = traffic_gate(&msg_regress, &baseline).unwrap_err();
+        assert!(err.contains("TSP") && err.contains("messages"), "{err}");
+
+        let byte_regress = vec![gate_row("TSP", 1000, 50_000), gate_row("Quicksort", 2000, 90_000)];
+        let err = traffic_gate(&byte_regress, &baseline).unwrap_err();
+        assert!(err.contains("Quicksort") && err.contains("SYSTEM bytes"), "{err}");
+
+        assert!(
+            traffic_gate(&baseline_rows, "{\"rows\": []}").is_err(),
+            "missing baseline rows must fail loudly"
+        );
     }
 
     /// The parallel 8-node rows run clean at test scale and report real

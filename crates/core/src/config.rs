@@ -76,6 +76,19 @@ pub struct CoreConfig {
     /// forever. `None` (the default) keeps the historical wait-forever
     /// behavior and adds no timer events to the run.
     pub fetch_timeout: Option<Ns>,
+    /// When set, demand fetches raised by one fault that target the same
+    /// serving node travel as a single batched request/reply round trip
+    /// instead of one message pair per granule. Off by default: the
+    /// singleton wire exchanges stay byte-identical with the historical
+    /// protocol.
+    pub coalesce_fetches: bool,
+    /// When set, RELEASE/RELEASE_NT payloads use the aggregated
+    /// write-notice encoding (wire tags 4/5): interval records are grouped
+    /// by creator and all vector-clock components implied by the creator's
+    /// previous record in the same frame are elided. Lossless — the
+    /// receiver reconstructs the exact record set — and off by default so
+    /// legacy frames stay byte-identical.
+    pub aggregate_notices: bool,
 }
 
 impl Default for CoreConfig {
@@ -106,6 +119,8 @@ impl CoreConfig {
             wire_header_pad: 90,
             strategy: Strategy::Invalidate,
             fetch_timeout: None,
+            coalesce_fetches: false,
+            aggregate_notices: false,
         }
     }
 
@@ -130,6 +145,8 @@ impl CoreConfig {
             wire_header_pad: 0,
             strategy: Strategy::Invalidate,
             fetch_timeout: None,
+            coalesce_fetches: false,
+            aggregate_notices: false,
         }
     }
 
@@ -151,6 +168,22 @@ impl CoreConfig {
     #[must_use]
     pub fn with_fetch_timeout(mut self, timeout: Ns) -> Self {
         self.fetch_timeout = Some(timeout);
+        self
+    }
+
+    /// Returns `self` with same-destination demand fetches coalesced into
+    /// batched request/reply round trips.
+    #[must_use]
+    pub fn with_coalesced_fetches(mut self) -> Self {
+        self.coalesce_fetches = true;
+        self
+    }
+
+    /// Returns `self` with the aggregated write-notice release encoding
+    /// enabled (wire tags 4/5).
+    #[must_use]
+    pub fn with_aggregated_notices(mut self) -> Self {
+        self.aggregate_notices = true;
         self
     }
 

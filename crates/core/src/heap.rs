@@ -28,13 +28,18 @@
 pub struct CoherentHeap {
     next: usize,
     limit: usize,
+    regions: Vec<carlos_lrc::RegionSpec>,
 }
 
 impl CoherentHeap {
     /// A heap over `limit` bytes starting at address 0.
     #[must_use]
     pub fn new(limit: usize) -> Self {
-        Self { next: 0, limit }
+        Self {
+            next: 0,
+            limit,
+            regions: Vec::new(),
+        }
     }
 
     /// Allocates `size` bytes aligned to `align`; returns the address.
@@ -55,6 +60,65 @@ impl CoherentHeap {
         );
         self.next = end;
         addr
+    }
+
+    /// Allocates `size` bytes whose coherence unit is `granule` bytes
+    /// instead of the engine's default page size — the variable-granularity
+    /// hint API. The address is `granule`-aligned and the allocation is
+    /// padded to a whole number of granules, so no later allocation can
+    /// land inside the hinted range and silently inherit its granule.
+    ///
+    /// The recorded [`carlos_lrc::RegionSpec`]s ([`CoherentHeap::regions`])
+    /// go into `LrcConfig::regions`; SPMD programs run the same allocation
+    /// sequence everywhere, so all nodes build identical region tables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `granule` is not a power of two of at least 8 bytes, or if
+    /// the region is exhausted.
+    pub fn alloc_with_granule(&mut self, size: usize, granule: usize) -> usize {
+        self.alloc_granule_hinted(size, granule, false)
+    }
+
+    /// Like [`CoherentHeap::alloc_with_granule`], but additionally marks the
+    /// region *eager*: granules invalidated by incoming write notices are
+    /// re-fetched right after the notices apply (batched per serving node
+    /// when fetch coalescing is on) instead of one at a time on later access
+    /// faults. Use for data the node is certain to re-read after every
+    /// synchronization — hot scalars, task slots, boundary rows — and not
+    /// for large arrays mostly owned by other nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`CoherentHeap::alloc_with_granule`].
+    pub fn alloc_with_granule_eager(&mut self, size: usize, granule: usize) -> usize {
+        self.alloc_granule_hinted(size, granule, true)
+    }
+
+    fn alloc_granule_hinted(&mut self, size: usize, granule: usize, eager: bool) -> usize {
+        assert!(
+            granule.is_power_of_two() && granule >= 8,
+            "granule must be a power of two of at least 8 bytes"
+        );
+        let addr = self.alloc(size, granule);
+        let len = size.div_ceil(granule) * granule;
+        let end = addr.checked_add(len).expect("allocation size overflow");
+        assert!(
+            end <= self.limit,
+            "coherent region exhausted: granule padding for {size} at {addr} passes limit {}",
+            self.limit
+        );
+        self.next = end;
+        let spec = carlos_lrc::RegionSpec::new(addr, len, granule);
+        self.regions.push(if eager { spec.eager() } else { spec });
+        addr
+    }
+
+    /// The granularity hints recorded by [`CoherentHeap::alloc_with_granule`],
+    /// in allocation (= address) order.
+    #[must_use]
+    pub fn regions(&self) -> Vec<carlos_lrc::RegionSpec> {
+        self.regions.clone()
     }
 
     /// Allocates a `count`-element array of `elem_size`-byte elements,
@@ -174,6 +238,29 @@ mod tests {
     fn bad_alignment_panics() {
         let mut h = CoherentHeap::new(64);
         let _ = h.alloc(1, 3);
+    }
+
+    #[test]
+    fn granule_hints_record_padded_regions() {
+        let mut h = CoherentHeap::new(1 << 16);
+        let a = h.alloc(4, 4); // Unhinted prefix.
+        let b = h.alloc_with_granule(100, 64);
+        let c = h.alloc(4, 4);
+        assert_eq!(a, 0);
+        assert_eq!(b % 64, 0);
+        assert!(c >= b + 128, "next alloc must clear the granule padding");
+        let regions = h.regions();
+        assert_eq!(regions.len(), 1);
+        assert_eq!(regions[0].start, b);
+        assert_eq!(regions[0].len, 128); // 100 rounded to two 64 B granules.
+        assert_eq!(regions[0].granule, 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two of at least 8")]
+    fn bad_granule_panics() {
+        let mut h = CoherentHeap::new(1 << 16);
+        let _ = h.alloc_with_granule(16, 48);
     }
 
     #[test]

@@ -52,5 +52,5 @@ pub use config::{CoreConfig, Strategy};
 pub use heap::CoherentHeap;
 pub use message::{AcceptedMsg, Consistency, Message};
 pub use multithread::{SharedRuntime, ThreadEvent, Worker};
-pub use probe::{CoreProbe, CostPhase, FetchKind, MsgClass};
+pub use probe::{CoreProbe, CostPhase, FetchKind, GranuleClass, MsgClass};
 pub use runtime::{Env, Runtime};

@@ -75,8 +75,15 @@ impl Message {
     /// and the paper's tables report message sizes including them.
     #[must_use]
     pub fn to_wire_bytes(&self, pad: usize) -> Vec<u8> {
+        self.to_wire_bytes_with(pad, false)
+    }
+
+    /// Like [`Message::to_wire_bytes`] with an explicit choice of the
+    /// aggregated write-notice encoding for release payloads.
+    #[must_use]
+    pub fn to_wire_bytes_with(&self, pad: usize, aggregate: bool) -> Vec<u8> {
         let mut enc = Encoder::new();
-        self.encode_into(&mut enc, pad);
+        self.encode_into(&mut enc, pad, aggregate);
         enc.finish_vec()
     }
 
@@ -86,14 +93,33 @@ impl Message {
     /// ARQ, the retransmission-queue entry) without further copying.
     #[must_use]
     pub fn to_framed(&self, pad: usize) -> FrameBuf {
+        self.to_framed_with(pad, false)
+    }
+
+    /// Like [`Message::to_framed`], optionally using the aggregated
+    /// write-notice encoding (wire tags 4/5) for release payloads. With
+    /// `aggregate` false the frame is byte-identical to the legacy one.
+    #[must_use]
+    pub fn to_framed_with(&self, pad: usize, aggregate: bool) -> FrameBuf {
         let mut enc = Encoder::new();
         enc.put_raw(&[0u8; FrameBuf::HEADROOM]);
-        self.encode_into(&mut enc, pad);
+        self.encode_into(&mut enc, pad, aggregate);
         FrameBuf::from_reserved(enc.finish_mut())
     }
 
-    fn encode_into(&self, enc: &mut Encoder, pad: usize) {
-        self.annotation.encode(enc);
+    fn encode_into(&self, enc: &mut Encoder, pad: usize, aggregate: bool) {
+        let aggregated = aggregate && self.annotation.is_release();
+        if aggregated {
+            // Tags 4/5 mark the aggregated release encodings; the legacy
+            // tags 0–3 and their payload bytes are untouched.
+            enc.put_u8(match self.annotation {
+                Annotation::Release => 4,
+                Annotation::ReleaseNt => 5,
+                _ => unreachable!("aggregated implies release"),
+            });
+        } else {
+            self.annotation.encode(enc);
+        }
         enc.put_u32(self.handler);
         enc.put_u32(self.origin);
         enc.put_bytes(&vec![0u8; pad]);
@@ -107,7 +133,11 @@ impl Message {
                 diffs,
             } => {
                 required.encode(enc);
-                enc.put_seq(records, |enc, r| r.encode(enc));
+                if aggregated {
+                    encode_aggregated_records(enc, records);
+                } else {
+                    enc.put_seq(records, |enc, r| r.encode(enc));
+                }
                 enc.put_seq(diffs, |enc, d| d.encode(enc));
             }
         }
@@ -120,7 +150,23 @@ impl Message {
     /// Returns a [`DecodeError`] on truncated or malformed input.
     pub fn from_wire_bytes(src: u32, buf: &[u8]) -> Result<Self, DecodeError> {
         let mut dec = Decoder::new(buf);
-        let annotation = Annotation::decode(&mut dec)?;
+        // Tags 0–3 are the annotation's own encoding; 4/5 are the
+        // aggregated forms of Release/ReleaseNt (write notices grouped by
+        // creator with delta-coded vector clocks).
+        let (annotation, aggregated) = match dec.get_u8()? {
+            0 => (Annotation::None, false),
+            1 => (Annotation::Request, false),
+            2 => (Annotation::Release, false),
+            3 => (Annotation::ReleaseNt, false),
+            4 => (Annotation::Release, true),
+            5 => (Annotation::ReleaseNt, true),
+            tag => {
+                return Err(DecodeError::BadTag {
+                    tag: u32::from(tag),
+                    what: "Annotation",
+                })
+            }
+        };
         let handler = dec.get_u32()?;
         let origin = dec.get_u32()?;
         let _pad = dec.get_bytes()?;
@@ -132,7 +178,11 @@ impl Message {
             },
             Annotation::Release | Annotation::ReleaseNt => Consistency::Release {
                 required: Vc::decode(&mut dec)?,
-                records: dec.get_seq(IntervalRecord::decode)?,
+                records: if aggregated {
+                    decode_aggregated_records(&mut dec)?
+                } else {
+                    dec.get_seq(IntervalRecord::decode)?
+                },
                 diffs: dec.get_seq(DiffRecord::decode)?,
             },
         };
@@ -155,6 +205,112 @@ impl Message {
             _ => 0,
         }
     }
+}
+
+/// Saturating 16-bit view of a vector-clock component — exactly what the
+/// legacy `Vc` encoding puts on the wire, so the aggregated form is a
+/// lossless re-encode of the same information.
+fn vc_sat16(v: u32) -> u16 {
+    u16::try_from(v).unwrap_or(u16::MAX)
+}
+
+/// Encodes `records` in the aggregated write-notice form: consecutive
+/// records from the same creator form a group; the group's first record
+/// carries its full vector clock, and every later record carries only the
+/// components that differ from the creator's previous record in the group
+/// (the rest are causally implied and elided). Record order is preserved
+/// exactly, so decoding reproduces the legacy record sequence.
+fn encode_aggregated_records(enc: &mut Encoder, records: &[IntervalRecord]) {
+    // Group consecutive same-creator records.
+    let mut groups: Vec<&[IntervalRecord]> = Vec::new();
+    let mut rest = records;
+    while let Some(first) = rest.first() {
+        let len = rest.iter().take_while(|r| r.node == first.node).count();
+        groups.push(&rest[..len]);
+        rest = &rest[len..];
+    }
+    enc.put_u32(groups.len() as u32);
+    for group in groups {
+        enc.put_u32(group[0].node);
+        enc.put_u32(group.len() as u32);
+        let mut prev: Option<&Vc> = None;
+        for rec in group {
+            enc.put_u32(rec.index);
+            match prev {
+                None => rec.vc.encode(enc),
+                Some(p) => {
+                    let changed: Vec<(u32, u32)> = rec
+                        .vc
+                        .iter()
+                        .filter(|&(n, v)| vc_sat16(v) != vc_sat16(p.get(n)))
+                        .collect();
+                    enc.put_u16(changed.len() as u16);
+                    for (n, v) in changed {
+                        enc.put_u16(n as u16);
+                        enc.put_u16(vc_sat16(v));
+                    }
+                }
+            }
+            enc.put_seq(&rec.pages, |enc, &p| enc.put_u32(p));
+            prev = Some(&rec.vc);
+        }
+    }
+}
+
+/// Decodes the aggregated write-notice form back into the exact record
+/// sequence [`encode_aggregated_records`] was given (modulo the u16
+/// saturation the legacy encoding also applies).
+fn decode_aggregated_records(dec: &mut Decoder<'_>) -> Result<Vec<IntervalRecord>, DecodeError> {
+    let n_groups = dec.get_u32()? as usize;
+    if n_groups > dec.remaining() {
+        return Err(DecodeError::BadLength {
+            claimed: n_groups,
+            remaining: dec.remaining(),
+        });
+    }
+    let mut out = Vec::new();
+    for _ in 0..n_groups {
+        let node = dec.get_u32()?;
+        let count = dec.get_u32()? as usize;
+        if count > dec.remaining() {
+            return Err(DecodeError::BadLength {
+                claimed: count,
+                remaining: dec.remaining(),
+            });
+        }
+        let mut prev: Option<Vc> = None;
+        for _ in 0..count {
+            let index = dec.get_u32()?;
+            let vc = match &prev {
+                None => Vc::decode(dec)?,
+                Some(p) => {
+                    let mut vc = p.clone();
+                    let n_changed = dec.get_u16()? as usize;
+                    for _ in 0..n_changed {
+                        let comp = u32::from(dec.get_u16()?);
+                        let val = u32::from(dec.get_u16()?);
+                        if comp as usize >= vc.len() {
+                            return Err(DecodeError::BadTag {
+                                tag: comp,
+                                what: "aggregated vc component",
+                            });
+                        }
+                        vc.set(comp, val);
+                    }
+                    vc
+                }
+            };
+            let pages = dec.get_seq(|d| d.get_u32())?;
+            prev = Some(vc.clone());
+            out.push(IntervalRecord {
+                node,
+                index,
+                vc,
+                pages,
+            });
+        }
+    }
+    Ok(out)
 }
 
 /// A message after acceptance, handed to user-level code.
@@ -277,6 +433,87 @@ mod tests {
         for cut in [1, 5, bytes.len() - 1] {
             assert!(Message::from_wire_bytes(0, &bytes[..cut]).is_err());
         }
+    }
+
+    #[test]
+    fn aggregated_release_roundtrips_losslessly() {
+        // Three records from node 0 (a chain whose vc grows stepwise) and
+        // one from node 2 — the aggregated form must reproduce them all,
+        // in order, bit for bit.
+        let n = 4;
+        let mk = |node: u32, index: u32, other: (u32, u32), pages: Vec<u32>| {
+            let mut vc = Vc::new(n);
+            vc.set(node, index);
+            vc.set(other.0, other.1);
+            IntervalRecord {
+                node,
+                index,
+                vc,
+                pages,
+            }
+        };
+        let records = vec![
+            mk(0, 1, (1, 0), vec![3]),
+            mk(0, 2, (1, 5), vec![3, 9]),
+            mk(0, 3, (1, 5), vec![]),
+            mk(2, 7, (3, 1), vec![11]),
+        ];
+        let mut required = Vc::new(n);
+        required.set(0, 3);
+        required.set(2, 7);
+        let m = Message {
+            src: 0,
+            origin: 0,
+            handler: 2,
+            annotation: Annotation::Release,
+            body: vec![5, 6],
+            consistency: Consistency::Release {
+                required,
+                records,
+                diffs: vec![],
+            },
+        };
+        let agg = m.to_wire_bytes_with(0, true);
+        let legacy = m.to_wire_bytes(0);
+        assert_eq!(Message::from_wire_bytes(0, &agg).unwrap(), m);
+        // Elided vc components make the aggregated frame strictly smaller
+        // once a creator contributes more than one record.
+        assert!(agg.len() < legacy.len(), "{} !< {}", agg.len(), legacy.len());
+        // Tag byte distinguishes the encodings.
+        assert_eq!(agg[0], 4);
+        assert_eq!(legacy[0], 2);
+    }
+
+    #[test]
+    fn aggregated_release_nt_uses_tag_5() {
+        let m = Message {
+            src: 1,
+            origin: 1,
+            handler: 2,
+            annotation: Annotation::ReleaseNt,
+            body: vec![],
+            consistency: Consistency::Release {
+                required: Vc::new(2),
+                records: vec![rec(1, 1, 2)],
+                diffs: vec![],
+            },
+        };
+        let agg = m.to_wire_bytes_with(0, true);
+        assert_eq!(agg[0], 5);
+        assert_eq!(Message::from_wire_bytes(1, &agg).unwrap(), m);
+    }
+
+    #[test]
+    fn aggregation_flag_leaves_non_releases_untouched() {
+        let m = Message {
+            src: 0,
+            origin: 0,
+            handler: 1,
+            annotation: Annotation::Request,
+            body: vec![1],
+            consistency: Consistency::Request { vt: Vc::new(3) },
+        };
+        assert_eq!(m.to_wire_bytes_with(7, true), m.to_wire_bytes(7));
     }
 
     #[test]

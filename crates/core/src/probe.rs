@@ -105,6 +105,43 @@ pub enum FetchKind {
     Page,
 }
 
+/// Coherence-granule size class of a fetched unit, relative to the
+/// cluster's base page size (variable-granularity coherence).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum GranuleClass {
+    /// Sub-page granule (fine-grained shared data).
+    Fine,
+    /// Exactly the base page size (the legacy unit).
+    Page,
+    /// Super-page granule (bulk array regions).
+    Bulk,
+}
+
+impl GranuleClass {
+    /// All classes, in display order.
+    pub const ALL: [GranuleClass; 3] = [GranuleClass::Fine, GranuleClass::Page, GranuleClass::Bulk];
+
+    /// Classifies a granule of `granule_len` bytes against `page_size`.
+    #[must_use]
+    pub fn of(granule_len: usize, page_size: usize) -> Self {
+        match granule_len.cmp(&page_size) {
+            std::cmp::Ordering::Less => GranuleClass::Fine,
+            std::cmp::Ordering::Equal => GranuleClass::Page,
+            std::cmp::Ordering::Greater => GranuleClass::Bulk,
+        }
+    }
+
+    /// Display name for reports and counters.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            GranuleClass::Fine => "fine",
+            GranuleClass::Page => "page",
+            GranuleClass::Bulk => "bulk",
+        }
+    }
+}
+
 /// Receiver of runtime protocol notifications.
 ///
 /// All methods default to no-ops. Implementations run synchronously on the
@@ -174,6 +211,23 @@ pub trait CoreProbe: Send + Sync {
     /// arrived and was applied.
     fn fetch_finished(&self, node: NodeId, server: NodeId, page: u32, at: Ns) {
         let _ = (node, server, page, at);
+    }
+
+    /// A fetch reply delivered `bytes` of payload (diff bytes or a full
+    /// granule copy) for `page`, a granule of size class `class`. Fires
+    /// once per fulfilled demand — including each sub-reply of a coalesced
+    /// batch — so summing per class reproduces the per-granule-class
+    /// traffic columns of the report tables.
+    fn fetch_fulfilled(
+        &self,
+        node: NodeId,
+        server: NodeId,
+        page: u32,
+        class: GranuleClass,
+        bytes: usize,
+        at: Ns,
+    ) {
+        let _ = (node, server, page, class, bytes, at);
     }
 
     /// `node` entered (`begin` true) or left (`begin` false) a blocking

@@ -27,7 +27,7 @@ use crate::{
     annotation::Annotation,
     config::CoreConfig,
     message::{AcceptedMsg, Consistency, Message},
-    probe::{CoreProbe, CostPhase, FetchKind, MsgClass},
+    probe::{CoreProbe, CostPhase, FetchKind, GranuleClass, MsgClass},
 };
 
 /// First handler id reserved for the system protocol; user handlers must
@@ -40,6 +40,8 @@ const SYS_PAGE_REQ: u32 = SYS_HANDLER_BASE + 2;
 const SYS_PAGE_REPLY: u32 = SYS_HANDLER_BASE + 3;
 const SYS_IVAL_REQ: u32 = SYS_HANDLER_BASE + 4;
 const SYS_IVAL_REPLY: u32 = SYS_HANDLER_BASE + 5;
+const SYS_BATCH_REQ: u32 = SYS_HANDLER_BASE + 6;
+const SYS_BATCH_REPLY: u32 = SYS_HANDLER_BASE + 7;
 
 /// A low-level active-message handler.
 pub type HandlerFn = Box<dyn FnMut(&mut Env<'_>, Message) + Send>;
@@ -56,6 +58,54 @@ struct PendingAccept {
     msg: Message,
     required: Vc,
     rounds: u32,
+}
+
+/// One demand inside a coalesced SYS_BATCH_REQ (kind 0 = diffs, 1 = page;
+/// `after`/`through`/`force` are meaningful for diff entries only).
+struct BatchEntry {
+    kind: u8,
+    page: u32,
+    after: u32,
+    through: u32,
+    force: bool,
+}
+
+/// The server-side result of one demand fetch: either the diff chain or a
+/// full granule copy (first touch, or the TreadMarks page-instead-of-diffs
+/// substitution).
+enum SubReply {
+    Diffs {
+        page: u32,
+        records: Vec<carlos_lrc::DiffRecord>,
+    },
+    Page {
+        page: u32,
+        data: Vec<u8>,
+        applied: Vc,
+    },
+}
+
+impl SubReply {
+    /// Appends this sub-reply to a SYS_BATCH_REPLY body.
+    fn encode_into(&self, enc: &mut Encoder) {
+        match self {
+            SubReply::Diffs { page, records } => {
+                enc.put_u8(0);
+                enc.put_u32(*page);
+                enc.put_seq(records, |e, r| r.encode(e));
+            }
+            SubReply::Page {
+                page,
+                data,
+                applied,
+            } => {
+                enc.put_u8(1);
+                enc.put_u32(*page);
+                enc.put_bytes(data);
+                applied.encode(enc);
+            }
+        }
+    }
 }
 
 /// Internal state reachable from handlers (everything except the handler
@@ -144,7 +194,8 @@ impl Core {
             p.msg_sent(self.node(), dst, class, msg.handler, self.ctx.now());
         }
         let pad = self.cfg.wire_header_pad;
-        self.transport.send(dst, msg.to_framed(pad));
+        self.transport
+            .send(dst, msg.to_framed_with(pad, self.cfg.aggregate_notices));
     }
 
     /// Builds a user message from this node with the given annotation,
@@ -188,11 +239,23 @@ impl Core {
                 // the receiver's pages can stay valid (§4.3). Only locally
                 // stored diffs are attached; anything missing is fetched
                 // lazily by the receiver exactly as under invalidation.
+                //
+                // Eager region hints get the same treatment per granule even
+                // under the invalidate strategy: data the receiver is certain
+                // to re-read travels with its write notices ("the actual data
+                // transmission occurs eagerly and asynchronously when the
+                // notification message is sent", §3), killing the fetch round
+                // trip. Granules whose diffs the sender does not hold are
+                // batch-fetched by the receiver right after the notices apply.
+                let update_all = self.cfg.strategy == crate::config::Strategy::Update;
                 let mut diffs = Vec::new();
-                if self.cfg.strategy == crate::config::Strategy::Update {
+                if update_all || self.engine.granules().has_eager() {
                     let mut seen = std::collections::BTreeSet::new();
                     for rec in &records {
                         for &p in &rec.pages {
+                            if !update_all && !self.engine.granules().eager_granule(p) {
+                                continue;
+                            }
                             if let Some(d) = self.engine.stored_diff(rec.node, p, rec.index) {
                                 if seen.insert((d.node, d.page, d.first, d.last)) {
                                     diffs.push(d.clone());
@@ -362,61 +425,44 @@ impl Core {
                 let after = dec.get_u32().expect("diff request after");
                 let through = dec.get_u32().expect("diff request through");
                 let force_diffs = dec.get_u8().unwrap_or(0) != 0;
-                let before = self.engine.stats().diffs_created;
-                let records = self.engine.serve_diffs(page, after, through);
-                let created = self.engine.stats().diffs_created - before;
-                let page_bytes = self.engine.config().page_size;
-                let create_cost = self.cfg.diff_create_cost(page_bytes) * created;
-                self.probe_cost(MsgClass::System, CostPhase::DiffCreate, create_cost);
-                self.charge(create_cost);
-                self.ctx.count("carlos.diff_requests_served", 1);
-                // TreadMarks heuristic: when the requested diff chain is
-                // bigger than the page itself, ship the whole page instead.
-                let total: usize = records.iter().map(|r| r.diff.modified_bytes()).sum();
-                if total > page_bytes && !force_diffs {
-                    let (data, applied) = self.engine.serve_page(page);
-                    let copy_cost = self.cfg.page_copy_cost(data.len());
-                    self.probe_cost(MsgClass::System, CostPhase::PageCopy, copy_cost);
-                    self.charge(copy_cost);
-                    self.ctx.count("carlos.page_instead_of_diffs", 1);
-                    let mut body = Encoder::new();
-                    body.put_u32(page);
-                    body.put_bytes(&data);
-                    applied.encode(&mut body);
-                    self.send_sys(msg.src, SYS_PAGE_REPLY, body.finish_vec());
-                    return;
+                match self.serve_diff_demand(page, after, through, force_diffs) {
+                    SubReply::Page {
+                        page,
+                        data,
+                        applied,
+                    } => {
+                        let mut body = Encoder::new();
+                        body.put_u32(page);
+                        body.put_bytes(&data);
+                        applied.encode(&mut body);
+                        self.send_sys(msg.src, SYS_PAGE_REPLY, body.finish_vec());
+                    }
+                    SubReply::Diffs { page, records } => {
+                        let mut body = Encoder::new();
+                        body.put_u32(page);
+                        body.put_seq(&records, |e, r| r.encode(e));
+                        self.send_sys(msg.src, SYS_DIFF_REPLY, body.finish_vec());
+                    }
                 }
-                let mut body = Encoder::new();
-                body.put_u32(page);
-                body.put_seq(&records, |e, r| r.encode(e));
-                self.send_sys(msg.src, SYS_DIFF_REPLY, body.finish_vec());
             }
             SYS_DIFF_REPLY => {
                 let mut dec = Decoder::new(&msg.body);
                 let page = dec.get_u32().expect("diff reply page");
                 let records = dec.get_seq(carlos_lrc::DiffRecord::decode).expect("diff records");
-                let mut cost = 0;
-                for r in &records {
-                    cost += self.cfg.diff_apply_cost(r.diff.modified_bytes());
-                }
-                self.probe_cost(MsgClass::System, CostPhase::DiffApply, cost);
-                self.charge(cost);
-                self.pending_diffs.entry(page).or_default().extend(records);
-                if self.inflight.remove(&(page, msg.src)) {
-                    if let Some(p) = &self.probe {
-                        p.fetch_finished(self.node(), msg.src, page, self.ctx.now());
-                    }
-                }
+                self.accept_diff_reply(msg.src, page, records);
                 self.maybe_apply_buffered(page);
             }
             SYS_PAGE_REQ => {
                 let mut dec = Decoder::new(&msg.body);
                 let page = dec.get_u32().expect("page request id");
-                let (data, applied) = self.engine.serve_page(page);
-                let copy_cost = self.cfg.page_copy_cost(data.len());
-                self.probe_cost(MsgClass::System, CostPhase::PageCopy, copy_cost);
-                self.charge(copy_cost);
-                self.ctx.count("carlos.page_requests_served", 1);
+                let SubReply::Page {
+                    page,
+                    data,
+                    applied,
+                } = self.serve_page_demand(page)
+                else {
+                    unreachable!("page demand serves a page")
+                };
                 let mut body = Encoder::new();
                 body.put_u32(page);
                 body.put_bytes(&data);
@@ -428,22 +474,60 @@ impl Core {
                 let page = dec.get_u32().expect("page reply id");
                 let data = dec.get_bytes().expect("page data");
                 let applied = Vc::decode(&mut dec).expect("page applied vc");
-                let copy_cost = self.cfg.page_copy_cost(data.len());
-                self.probe_cost(MsgClass::System, CostPhase::PageCopy, copy_cost);
-                self.charge(copy_cost);
-                if !self.engine.install_page(page, data, applied) {
-                    // The substituted page was stale relative to our copy:
-                    // retries for this (page, server) must use plain diffs,
-                    // or the request/substitute cycle would never converge.
-                    self.force_diffs.insert((page, msg.src));
-                    self.ctx.count("carlos.page_substitute_rejected", 1);
+                self.accept_page_reply(msg.src, page, data, applied);
+                self.maybe_apply_buffered(page);
+            }
+            SYS_BATCH_REQ => {
+                let mut dec = Decoder::new(&msg.body);
+                let n = dec.get_u32().expect("batch request count");
+                self.ctx.count("carlos.batch_requests_served", 1);
+                let mut body = Encoder::new();
+                body.put_u32(n);
+                for _ in 0..n {
+                    let kind = dec.get_u8().expect("batch entry kind");
+                    let page = dec.get_u32().expect("batch entry page");
+                    let after = dec.get_u32().expect("batch entry after");
+                    let through = dec.get_u32().expect("batch entry through");
+                    let force = dec.get_u8().expect("batch entry force") != 0;
+                    let reply = match kind {
+                        0 => self.serve_diff_demand(page, after, through, force),
+                        1 => self.serve_page_demand(page),
+                        other => panic!("unknown batch entry kind {other}"),
+                    };
+                    reply.encode_into(&mut body);
                 }
-                if self.inflight.remove(&(page, msg.src)) {
-                    if let Some(p) = &self.probe {
-                        p.fetch_finished(self.node(), msg.src, page, self.ctx.now());
+                self.send_sys(msg.src, SYS_BATCH_REPLY, body.finish_vec());
+            }
+            SYS_BATCH_REPLY => {
+                let mut dec = Decoder::new(&msg.body);
+                let n = dec.get_u32().expect("batch reply count");
+                let mut pages: BTreeSet<u32> = BTreeSet::new();
+                for _ in 0..n {
+                    let kind = dec.get_u8().expect("batch sub-reply kind");
+                    let page = dec.get_u32().expect("batch sub-reply page");
+                    pages.insert(page);
+                    match kind {
+                        0 => {
+                            let records = dec
+                                .get_seq(carlos_lrc::DiffRecord::decode)
+                                .expect("batch diff records");
+                            self.accept_diff_reply(msg.src, page, records);
+                        }
+                        1 => {
+                            let data = dec.get_bytes().expect("batch page data");
+                            let applied = Vc::decode(&mut dec).expect("batch page applied vc");
+                            self.accept_page_reply(msg.src, page, data, applied);
+                        }
+                        other => panic!("unknown batch sub-reply kind {other}"),
                     }
                 }
-                self.maybe_apply_buffered(page);
+                // Buffered-diff application runs once per distinct page,
+                // after every inflight key this reply settles is removed —
+                // the same condition the singleton handlers reach, checked
+                // once instead of per entry.
+                for p in pages {
+                    self.maybe_apply_buffered(p);
+                }
             }
             SYS_IVAL_REQ => {
                 let mut dec = Decoder::new(&msg.body);
@@ -468,6 +552,100 @@ impl Core {
                 self.retry_pending_accepts();
             }
             other => panic!("unknown system handler id {other:#x}"),
+        }
+    }
+
+    /// Serves one diff demand: creates the diff chain for `page` after
+    /// interval `after` through `through`, charging per-granule diff
+    /// creation costs, and applies the TreadMarks heuristic — when the
+    /// chain outweighs the granule itself, ship the whole granule instead
+    /// (unless the requester demanded plain diffs).
+    fn serve_diff_demand(&mut self, page: u32, after: u32, through: u32, force_diffs: bool) -> SubReply {
+        let before = self.engine.stats().diffs_created;
+        let records = self.engine.serve_diffs(page, after, through);
+        let created = self.engine.stats().diffs_created - before;
+        let page_bytes = self.engine.granule_len(page);
+        let create_cost = self.cfg.diff_create_cost(page_bytes) * created;
+        self.probe_cost(MsgClass::System, CostPhase::DiffCreate, create_cost);
+        self.charge(create_cost);
+        self.ctx.count("carlos.diff_requests_served", 1);
+        let total: usize = records.iter().map(|r| r.diff.modified_bytes()).sum();
+        if total > page_bytes && !force_diffs {
+            let (data, applied) = self.engine.serve_page(page);
+            let copy_cost = self.cfg.page_copy_cost(data.len());
+            self.probe_cost(MsgClass::System, CostPhase::PageCopy, copy_cost);
+            self.charge(copy_cost);
+            self.ctx.count("carlos.page_instead_of_diffs", 1);
+            return SubReply::Page {
+                page,
+                data,
+                applied,
+            };
+        }
+        SubReply::Diffs { page, records }
+    }
+
+    /// Serves one whole-granule demand (first touch), charging copy costs.
+    fn serve_page_demand(&mut self, page: u32) -> SubReply {
+        let (data, applied) = self.engine.serve_page(page);
+        let copy_cost = self.cfg.page_copy_cost(data.len());
+        self.probe_cost(MsgClass::System, CostPhase::PageCopy, copy_cost);
+        self.charge(copy_cost);
+        self.ctx.count("carlos.page_requests_served", 1);
+        SubReply::Page {
+            page,
+            data,
+            applied,
+        }
+    }
+
+    /// Receive side of one diff (sub-)reply: charges apply costs, buffers
+    /// the records, and settles the inflight key. The caller runs
+    /// [`Core::maybe_apply_buffered`] once all sibling sub-replies landed.
+    fn accept_diff_reply(&mut self, src: NodeId, page: u32, records: Vec<carlos_lrc::DiffRecord>) {
+        let mut cost = 0;
+        let mut bytes = 0;
+        for r in &records {
+            bytes += r.diff.modified_bytes();
+            cost += self.cfg.diff_apply_cost(r.diff.modified_bytes());
+        }
+        self.probe_cost(MsgClass::System, CostPhase::DiffApply, cost);
+        self.charge(cost);
+        self.pending_diffs.entry(page).or_default().extend(records);
+        self.fetch_done(src, page, bytes);
+    }
+
+    /// Receive side of one whole-granule (sub-)reply: charges copy costs,
+    /// installs the granule, and settles the inflight key.
+    fn accept_page_reply(&mut self, src: NodeId, page: u32, data: Vec<u8>, applied: Vc) {
+        let copy_cost = self.cfg.page_copy_cost(data.len());
+        self.probe_cost(MsgClass::System, CostPhase::PageCopy, copy_cost);
+        self.charge(copy_cost);
+        let bytes = data.len();
+        if !self.engine.install_page(page, data, applied) {
+            // The substituted page was stale relative to our copy:
+            // retries for this (page, server) must use plain diffs,
+            // or the request/substitute cycle would never converge.
+            self.force_diffs.insert((page, src));
+            self.ctx.count("carlos.page_substitute_rejected", 1);
+        }
+        self.fetch_done(src, page, bytes);
+    }
+
+    /// Removes the `(page, src)` inflight key and reports fetch completion
+    /// (with the granule's size class) to the probe.
+    fn fetch_done(&mut self, src: NodeId, page: u32, bytes: usize) {
+        if self.inflight.remove(&(page, src)) {
+            if let Some(p) = &self.probe {
+                p.fetch_finished(self.node(), src, page, self.ctx.now());
+            }
+        }
+        if let Some(p) = &self.probe {
+            let class = GranuleClass::of(
+                self.engine.granule_len(page),
+                self.engine.config().page_size,
+            );
+            p.fetch_fulfilled(self.node(), src, page, class, bytes, self.ctx.now());
         }
     }
 
@@ -945,6 +1123,7 @@ impl Runtime {
         }
         if msg.handler >= SYS_HANDLER_BASE {
             self.core.handle_sys(msg);
+            self.eager_fetch_invalidated();
             return;
         }
         self.core.note_incoming(&msg);
@@ -969,6 +1148,7 @@ impl Runtime {
             };
             env.accept(msg);
         }
+        self.eager_fetch_invalidated();
     }
 
     /// Takes the first accepted message for `handler`, if one is queued.
@@ -1157,6 +1337,29 @@ impl Runtime {
         self.write_u64(addr, v.to_bits());
     }
 
+    /// Fires non-blocking fetches for eager-region granules the message just
+    /// dispatched invalidated (via its carried or repaired write notices).
+    /// One RELEASE's interval closure typically invalidates many granules at
+    /// once, so with fetch coalescing the whole set leaves as one batched
+    /// request per serving node; replies apply through the ordinary
+    /// buffered-diff machinery while the application keeps running, and a
+    /// later access fault on a still-inflight granule simply waits on the
+    /// request already in the air. No-op without eager region hints.
+    fn eager_fetch_invalidated(&mut self) {
+        let pages = self.core.engine.take_eager_invalid();
+        if pages.is_empty() {
+            return;
+        }
+        let mut demands = Vec::new();
+        for p in pages {
+            demands.extend(self.core.engine.fault_demands(p));
+        }
+        if !demands.is_empty() {
+            self.core.ctx.count("carlos.eager_fetches", demands.len() as u64);
+            let _ = self.issue_demands(demands);
+        }
+    }
+
     /// Sends the protocol requests for `demands` (deduplicated against
     /// requests already in flight) and returns the `(page, server)` keys
     /// whose replies the caller may wait on.
@@ -1169,6 +1372,13 @@ impl Runtime {
                 self.core.ctx.now() / 1_000_000
             );
         }
+        let coalesce = self.core.cfg.coalesce_fetches;
+        // With coalescing, demands not yet in flight are grouped by serving
+        // node and same-destination groups of two or more share one batched
+        // round trip; singletons keep the legacy wire exchange. Without it,
+        // every request goes out inline, in demand order, exactly as the
+        // historical protocol did (pinned by the golden fingerprints).
+        let mut fresh: BTreeMap<NodeId, Vec<BatchEntry>> = BTreeMap::new();
         let mut waiting: Vec<(u32, NodeId)> = Vec::new();
         for d in demands {
             match d {
@@ -1191,12 +1401,17 @@ impl Runtime {
                             );
                         }
                         let force = self.core.force_diffs.contains(&(page, to));
-                        let mut body = Encoder::new();
-                        body.put_u32(page);
-                        body.put_u32(after);
-                        body.put_u32(through);
-                        body.put_u8(u8::from(force));
-                        self.core.send_sys(to, SYS_DIFF_REQ, body.finish_vec());
+                        if coalesce {
+                            fresh.entry(to).or_default().push(BatchEntry {
+                                kind: 0,
+                                page,
+                                after,
+                                through,
+                                force,
+                            });
+                        } else {
+                            self.send_diff_req(to, page, after, through, force);
+                        }
                     }
                 }
                 Demand::Page { to, page } => {
@@ -1212,14 +1427,61 @@ impl Runtime {
                                 self.core.ctx.now(),
                             );
                         }
-                        let mut body = Encoder::new();
-                        body.put_u32(page);
-                        self.core.send_sys(to, SYS_PAGE_REQ, body.finish_vec());
+                        if coalesce {
+                            fresh.entry(to).or_default().push(BatchEntry {
+                                kind: 1,
+                                page,
+                                after: 0,
+                                through: 0,
+                                force: false,
+                            });
+                        } else {
+                            let mut body = Encoder::new();
+                            body.put_u32(page);
+                            self.core.send_sys(to, SYS_PAGE_REQ, body.finish_vec());
+                        }
                     }
                 }
             }
         }
+        for (to, entries) in fresh {
+            if entries.len() == 1 {
+                let e = &entries[0];
+                if e.kind == 0 {
+                    self.send_diff_req(to, e.page, e.after, e.through, e.force);
+                } else {
+                    let mut body = Encoder::new();
+                    body.put_u32(e.page);
+                    self.core.send_sys(to, SYS_PAGE_REQ, body.finish_vec());
+                }
+                continue;
+            }
+            self.core.ctx.count("carlos.batch_requests", 1);
+            self.core
+                .ctx
+                .count("carlos.batched_fetches", entries.len() as u64);
+            let mut body = Encoder::new();
+            body.put_u32(entries.len() as u32);
+            for e in &entries {
+                body.put_u8(e.kind);
+                body.put_u32(e.page);
+                body.put_u32(e.after);
+                body.put_u32(e.through);
+                body.put_u8(u8::from(e.force));
+            }
+            self.core.send_sys(to, SYS_BATCH_REQ, body.finish_vec());
+        }
         waiting
+    }
+
+    /// Sends one legacy (singleton) diff request.
+    fn send_diff_req(&mut self, to: NodeId, page: u32, after: u32, through: u32, force: bool) {
+        let mut body = Encoder::new();
+        body.put_u32(page);
+        body.put_u32(after);
+        body.put_u32(through);
+        body.put_u8(u8::from(force));
+        self.core.send_sys(to, SYS_DIFF_REQ, body.finish_vec());
     }
 
     fn resolve_demands(&mut self, demands: Vec<Demand>) {

@@ -1,5 +1,7 @@
 //! Configuration for the LRC engine.
 
+use crate::region::RegionSpec;
+
 /// Which node owns (pins a copy of, and answers full-page requests for)
 /// each page of the coherent region.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -31,6 +33,11 @@ pub struct LrcConfig {
     pub gc_threshold_records: usize,
     /// Page-ownership policy.
     pub ownership: PageOwnership,
+    /// Variable-granularity coherence hints: address ranges whose coherence
+    /// unit differs from `page_size`. Empty (the default) means the whole
+    /// region uses `page_size` granules, bit-for-bit as before the region
+    /// table existed. See [`crate::region::GranuleMap`].
+    pub regions: Vec<RegionSpec>,
 }
 
 impl LrcConfig {
@@ -43,6 +50,7 @@ impl LrcConfig {
             region_bytes,
             gc_threshold_records: 12_000,
             ownership: PageOwnership::SingleOwner(0),
+            regions: Vec::new(),
         }
     }
 
@@ -56,6 +64,7 @@ impl LrcConfig {
             region_bytes: 64 * 64,
             gc_threshold_records: 1_000_000,
             ownership: PageOwnership::SingleOwner(0),
+            regions: Vec::new(),
         }
     }
 
@@ -78,6 +87,7 @@ mod tests {
             region_bytes: 250,
             gc_threshold_records: 10,
             ownership: PageOwnership::SingleOwner(0),
+            regions: Vec::new(),
         };
         assert_eq!(c.n_pages(), 3);
     }

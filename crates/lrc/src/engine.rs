@@ -31,6 +31,7 @@ use crate::{
     interval::{IntervalRecord, IntervalStore},
     observer::{EngineObserver, ObserverSlot},
     page::{PageId, PageMeta, PageState},
+    region::GranuleMap,
     vc::Vc,
 };
 
@@ -95,23 +96,32 @@ pub struct LrcEngine {
     /// self-created diffs (served to others) and fetched ones (kept, as in
     /// TreadMarks, until garbage collection).
     diffs: BTreeMap<(u32, PageId), Vec<DiffRecord>>,
-    /// `log2(page_size)` when the page size is a power of two (every
-    /// standard config); enables the single-page access fast path.
+    /// Address→granule resolution. With no configured regions this is one
+    /// segment at `page_size` and granule ids equal legacy page ids.
+    granules: GranuleMap,
+    /// `log2(granule)` when the whole region uses one power-of-two granule
+    /// (every standard config); enables the single-page access fast path.
     page_shift: Option<u32>,
     /// Reusable run-boundary buffer for [`Diff::create_with_scratch`].
     diff_scratch: Vec<(u32, u32)>,
     /// Passive checker hooks; empty (one-branch cost) unless installed.
     observer: ObserverSlot,
+    /// Granules of eager regions invalidated by applied write notices since
+    /// the last [`LrcEngine::take_eager_invalid`]; always empty without
+    /// eager region hints.
+    eager_invalid: Vec<PageId>,
     stats: EngineStats,
 }
 
-/// The pinning owner of `page` under `cfg`'s ownership policy.
-fn owner_for(cfg: &LrcConfig, page: PageId) -> u32 {
+/// The pinning owner of granule `page` (out of `n_units`) under `cfg`'s
+/// ownership policy. Granules are numbered in address order, so banding
+/// over granule ids still bands the address space.
+fn owner_for(cfg: &LrcConfig, n_units: usize, page: PageId) -> u32 {
     match cfg.ownership {
         crate::config::PageOwnership::SingleOwner(n) => n,
         crate::config::PageOwnership::Banded => {
-            let n_pages = cfg.n_pages().max(1) as u64;
-            let band = u64::from(page) * cfg.n_nodes as u64 / n_pages;
+            let n_units = n_units.max(1) as u64;
+            let band = u64::from(page) * cfg.n_nodes as u64 / n_units;
             band.min(cfg.n_nodes as u64 - 1) as u32
         }
     }
@@ -150,11 +160,12 @@ impl LrcEngine {
     #[must_use]
     pub fn new(node: u32, cfg: LrcConfig) -> Self {
         assert!((node as usize) < cfg.n_nodes, "node id out of range");
-        let n_pages = cfg.n_pages();
-        let pages = (0..n_pages)
+        let granules = GranuleMap::new(cfg.region_bytes, cfg.page_size, &cfg.regions);
+        let n_units = granules.n_granules();
+        let pages = (0..n_units)
             .map(|p| {
-                if owner_for(&cfg, p as PageId) == node {
-                    PageMeta::zeroed(cfg.n_nodes, cfg.page_size)
+                if owner_for(&cfg, n_units, p as PageId) == node {
+                    PageMeta::zeroed(cfg.n_nodes, granules.granule_len(p as PageId))
                 } else {
                     PageMeta::missing(cfg.n_nodes)
                 }
@@ -167,12 +178,11 @@ impl LrcEngine {
             dirty: BTreeSet::new(),
             intervals: IntervalStore::new(),
             diffs: BTreeMap::new(),
-            page_shift: cfg
-                .page_size
-                .is_power_of_two()
-                .then(|| cfg.page_size.trailing_zeros()),
+            page_shift: granules.uniform_shift(),
+            granules,
             diff_scratch: Vec::new(),
             observer: ObserverSlot::default(),
+            eager_invalid: Vec::new(),
             stats: EngineStats::default(),
             cfg,
         }
@@ -188,7 +198,7 @@ impl LrcEngine {
     /// The node that pins a copy of `page` and answers full-page requests.
     #[must_use]
     pub fn owner_of(&self, page: PageId) -> u32 {
-        owner_for(&self.cfg, page)
+        owner_for(&self.cfg, self.granules.n_granules(), page)
     }
 
     /// This engine's node id.
@@ -221,10 +231,24 @@ impl LrcEngine {
         self.pages[page as usize].state
     }
 
-    /// Page containing byte address `addr`.
+    /// Granule (coherence unit) containing byte address `addr`. With no
+    /// granularity hints this is the legacy `addr / page_size`.
     #[must_use]
     pub fn page_of(&self, addr: usize) -> PageId {
-        (addr / self.cfg.page_size) as PageId
+        self.granules.granule_of(addr)
+    }
+
+    /// The address→granule map this engine was built with.
+    #[must_use]
+    pub fn granules(&self) -> &GranuleMap {
+        &self.granules
+    }
+
+    /// Size in bytes of the coherence unit `page` — `page_size` unless a
+    /// region hint gave this range a different granule.
+    #[must_use]
+    pub fn granule_len(&self, page: PageId) -> usize {
+        self.granules.granule_len(page)
     }
 
     // ------------------------------------------------------------------
@@ -254,7 +278,7 @@ impl LrcEngine {
             if !buf.is_empty() && end <= self.cfg.region_bytes && (end - 1) >> shift == page {
                 let meta = &self.pages[page];
                 if matches!(meta.state, PageState::ReadOnly | PageState::ReadWrite) {
-                    let off = addr & (self.cfg.page_size - 1);
+                    let off = addr & ((1usize << shift) - 1);
                     buf.copy_from_slice(&meta.data[off..off + buf.len()]);
                     self.observer.mem_read(self.node, addr, buf, &self.vt);
                     return Ok(());
@@ -271,20 +295,41 @@ impl LrcEngine {
             "read beyond coherent region: {addr}+{}",
             buf.len()
         );
-        let ps = self.cfg.page_size;
         let mut done = 0;
         while done < buf.len() {
             let a = addr + done;
-            let page = (a / ps) as PageId;
-            self.ensure_readable(page)?;
-            let off = a % ps;
-            let n = (ps - off).min(buf.len() - done);
+            let (page, off, glen) = self.granules.locate(a);
+            if let Err(demands) = self.ensure_readable(page) {
+                return Err(self.batched_demands(demands, a + (glen - off), addr + buf.len()));
+            }
+            let n = (glen - off).min(buf.len() - done);
             let data = &self.pages[page as usize].data;
             buf[done..done + n].copy_from_slice(&data[off..off + n]);
             done += n;
         }
         self.observer.mem_read(self.node, addr, buf, &self.vt);
         Ok(())
+    }
+
+    /// Extends a faulting access's demands with those of every other
+    /// inaccessible granule in the rest of the range `[from, end)`, so one
+    /// fetch round (and, with coalescing, often one message per serving
+    /// node) covers the whole access instead of one round-trip per granule.
+    ///
+    /// Only active when granularity hints are configured: the legacy
+    /// one-granule-per-fault behavior is part of the pinned golden
+    /// fingerprints.
+    fn batched_demands(&mut self, mut demands: Vec<Demand>, from: usize, end: usize) -> Vec<Demand> {
+        if self.granules.hinted() {
+            let mut a = from;
+            while a < end {
+                let (page, off, glen) = self.granules.locate(a);
+                debug_assert_eq!(off, 0, "batch scan must start granule-aligned");
+                demands.extend(self.fault_demands(page));
+                a += glen - off;
+            }
+        }
+        demands
     }
 
     /// Writes `data` starting at `addr`.
@@ -315,7 +360,7 @@ impl LrcEngine {
             {
                 let meta = &mut self.pages[page];
                 if meta.state == PageState::ReadWrite {
-                    let off = addr & (self.cfg.page_size - 1);
+                    let off = addr & ((1usize << shift) - 1);
                     meta.data[off..off + data.len()].copy_from_slice(data);
                     self.observer.mem_write(self.node, addr, data, &self.vt);
                     return Ok(());
@@ -328,8 +373,7 @@ impl LrcEngine {
     #[cold]
     fn write_slow(&mut self, addr: usize, data: &[u8]) -> Result<(), Vec<Demand>> {
         if let Some(tp) = trace_page() {
-            let ps = self.cfg.page_size;
-            let lo = tp as usize * ps + trace_off();
+            let lo = self.granules.granule_base(tp) + trace_off();
             if addr <= lo && addr + data.len() >= lo + 4 {
                 let v = u32::from_le_bytes(data[lo - addr..lo - addr + 4].try_into().expect("len"));
                 eprintln!(
@@ -343,14 +387,14 @@ impl LrcEngine {
             "write beyond coherent region: {addr}+{}",
             data.len()
         );
-        let ps = self.cfg.page_size;
         let mut done = 0;
         while done < data.len() {
             let a = addr + done;
-            let page = (a / ps) as PageId;
-            self.ensure_writable(page)?;
-            let off = a % ps;
-            let n = (ps - off).min(data.len() - done);
+            let (page, off, glen) = self.granules.locate(a);
+            if let Err(demands) = self.ensure_writable(page) {
+                return Err(self.batched_demands(demands, a + (glen - off), addr + data.len()));
+            }
+            let n = (glen - off).min(data.len() - done);
             let dst = &mut self.pages[page as usize].data;
             dst[off..off + n].copy_from_slice(&data[done..done + n]);
             done += n;
@@ -531,11 +575,35 @@ impl LrcEngine {
             meta.max_notice.set(rec.node, cur.max(rec.index));
             match meta.state {
                 PageState::Missing => {}
-                _ => meta.state = PageState::Invalid,
+                _ => {
+                    meta.state = PageState::Invalid;
+                    if self.granules.eager_granule(p) {
+                        self.eager_invalid.push(p);
+                    }
+                }
             }
         }
         self.observer.record_applied(self.node, &rec);
         self.intervals.insert(rec);
+    }
+
+    /// Drains the granules of *eager* regions that incoming write notices
+    /// invalidated since the last call, sorted, deduplicated, and filtered
+    /// to those still inaccessible (a diff merge between notice and drain
+    /// can revalidate a granule). The runtime turns these into immediate,
+    /// non-blocking fetches right after applying a RELEASE's records, so
+    /// fetch coalescing can pack an interval closure's whole invalidation
+    /// set into one batched request per serving node. Always empty without
+    /// eager region hints — the demand-driven legacy path is untouched.
+    pub fn take_eager_invalid(&mut self) -> Vec<PageId> {
+        if self.eager_invalid.is_empty() {
+            return Vec::new();
+        }
+        let mut pages = std::mem::take(&mut self.eager_invalid);
+        pages.sort_unstable();
+        pages.dedup();
+        pages.retain(|&p| matches!(self.pages[p as usize].state, PageState::Invalid));
+        pages
     }
 
     // ------------------------------------------------------------------
@@ -804,8 +872,12 @@ impl LrcEngine {
                 self.node
             );
         }
+        assert_eq!(
+            data.len(),
+            self.granules.granule_len(page),
+            "bad granule size in install"
+        );
         let meta = &mut self.pages[page as usize];
-        assert_eq!(data.len(), self.cfg.page_size, "bad page size in install");
         // Replacement must not roll the copy backwards: only accept data
         // covering at least what is already applied locally. (A copy may
         // replace an existing one — the TreadMarks heuristic ships a whole

@@ -35,6 +35,7 @@ pub mod engine;
 pub mod interval;
 pub mod observer;
 pub mod page;
+pub mod region;
 pub mod vc;
 
 pub use config::{LrcConfig, PageOwnership};
@@ -43,4 +44,5 @@ pub use engine::{Demand, LrcEngine};
 pub use interval::IntervalRecord;
 pub use observer::{EngineObserver, ObserverSlot};
 pub use page::{PageId, PageState};
+pub use region::{GranuleMap, RegionSpec};
 pub use vc::Vc;

@@ -97,6 +97,34 @@ proptest! {
         prop_assert_eq!(word.modified_bytes(), if flip { len } else { 0 });
     }
 
+    /// Diffing at the variable-coherence granule sizes (sub-page 64 B and
+    /// 256 B fine granules, 1 MiB bulk granules): create/apply roundtrips
+    /// and the word scanner still matches the naive reference exactly.
+    /// Granules are always powers of two, so unlike
+    /// `word_diff_equals_naive_reference` these lengths never exercise the
+    /// odd-tail path — what they add is coverage of whole-buffer scans far
+    /// from the 8 KiB page the rest of the suite uses.
+    #[test]
+    fn granule_sized_diffs_match_naive(
+        size_sel in 0usize..3,
+        edits in proptest::collection::vec((any::<usize>(), any::<u8>()), 0..48),
+        seed in any::<u64>(),
+    ) {
+        let len = [64usize, 256, 1 << 20][size_sel];
+        let mut rng = carlos_util::rng::Xoshiro256::new(seed | 1);
+        let twin: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
+        let mut cur = twin.clone();
+        for (i, v) in edits {
+            cur[i % len] = v;
+        }
+        let word = Diff::create(&twin, &cur);
+        let naive = Diff::create_naive(&twin, &cur);
+        prop_assert_eq!(&word, &naive, "scanners diverged at {} B granule", len);
+        let mut rebuilt = twin.clone();
+        word.apply(&mut rebuilt);
+        prop_assert_eq!(rebuilt, cur);
+    }
+
     #[test]
     fn diff_wire_roundtrip(twin in proptest::collection::vec(any::<u8>(), 64),
                            edits in proptest::collection::vec((0usize..64, any::<u8>()), 0..20)) {
@@ -198,6 +226,44 @@ proptest! {
                 let vt_from = engines[from].vt().clone();
                 prop_assert!(engines[to].vt().dominates(&vt_from));
             }
+        }
+    }
+}
+
+/// The region table rejects every non-power-of-two granule (and the
+/// power-of-two ones below the 8-byte floor), whatever the rest of the
+/// spec looks like — hints can degrade a run but never mis-map addresses.
+mod granule_validation {
+    use super::*;
+    use carlos_lrc::region::{GranuleMap, RegionSpec};
+
+    proptest! {
+        #[test]
+        fn non_pow2_granules_are_rejected(raw in 8usize..100_000, len in 1usize..4096) {
+            // Nudge powers of two off by one; n and n+1 are never both
+            // powers of two for n >= 8.
+            let granule = if raw.is_power_of_two() { raw + 1 } else { raw };
+            let spec = RegionSpec::new(0, len, granule);
+            let r = GranuleMap::try_new(1 << 20, 8192, &[spec]);
+            prop_assert!(r.is_err(), "granule {} must be rejected", granule);
+        }
+
+        #[test]
+        fn sub_floor_granules_are_rejected(shift in 0u32..3, len in 1usize..4096) {
+            // Powers of two below the 8-byte floor (1, 2, 4) are invalid too.
+            let spec = RegionSpec::new(0, len, 1usize << shift);
+            prop_assert!(GranuleMap::try_new(1 << 20, 8192, &[spec]).is_err());
+        }
+
+        #[test]
+        fn pow2_granules_are_accepted(shift in 3u32..17, len in 1usize..4096) {
+            let granule = 1usize << shift;
+            let spec = RegionSpec::new(0, len, granule);
+            let m = GranuleMap::try_new(1 << 20, 8192, &[spec]);
+            prop_assert!(m.is_ok());
+            let m = m.unwrap();
+            prop_assert!(m.hinted() || granule == 8192);
+            prop_assert_eq!(m.granule_len(0), granule);
         }
     }
 }

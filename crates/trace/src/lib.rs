@@ -52,7 +52,7 @@ mod metrics;
 use std::{collections::BTreeMap, collections::VecDeque, fmt, sync::Arc};
 
 use bytes::Bytes;
-use carlos_core::{CoreProbe, CostPhase, FetchKind, MsgClass, Runtime};
+use carlos_core::{CoreProbe, CostPhase, FetchKind, GranuleClass, MsgClass, Runtime};
 use carlos_lrc::{EngineObserver, IntervalRecord, Vc};
 use carlos_sim::{Cluster, NodeId, Ns, TransportObserver, WireObserver};
 use parking_lot::Mutex;
@@ -423,6 +423,21 @@ impl CoreProbe for Tracer {
                 end: at.max(began),
             });
         }
+    }
+
+    fn fetch_fulfilled(
+        &self,
+        _node: NodeId,
+        _server: NodeId,
+        _page: u32,
+        class: GranuleClass,
+        bytes: usize,
+        _at: Ns,
+    ) {
+        let mut st = self.inner.lock();
+        st.metrics.count(&format!("fetch.class.{}", class.name()), 1);
+        st.metrics
+            .count(&format!("fetch.bytes.{}", class.name()), bytes as u64);
     }
 
     fn sync_wait(&self, node: NodeId, what: &'static str, id: u32, begin: bool, at: Ns) {

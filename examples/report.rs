@@ -12,7 +12,13 @@
 //! - `CARLOS_REPORT_OUT=path` — JSON destination (default
 //!   `BENCH_paper.json` in the current directory).
 
-use carlos::bench::report::{run_parallel_rows, run_report, to_json, to_markdown, ReportOptions};
+//! - `CARLOS_REPORT_BASELINE=path` — wire-traffic regression gate: compare
+//!   the fresh TSP/Quicksort Lock n=4 rows against the committed baseline
+//!   report JSON and exit nonzero if messages or SYSTEM bytes grew >5%.
+
+use carlos::bench::report::{
+    run_parallel_rows, run_report, to_json, to_markdown, traffic_gate, ReportOptions,
+};
 
 fn main() {
     let opts = ReportOptions::from_env();
@@ -37,6 +43,23 @@ fn main() {
         Err(e) => {
             eprintln!("cannot write {path}: {e}");
             std::process::exit(1);
+        }
+    }
+    if let Ok(baseline_path) = std::env::var("CARLOS_REPORT_BASELINE") {
+        let baseline = std::fs::read_to_string(&baseline_path).unwrap_or_else(|e| {
+            eprintln!("cannot read baseline {baseline_path}: {e}");
+            std::process::exit(1);
+        });
+        match traffic_gate(&rows, &baseline) {
+            Ok(lines) => {
+                for line in lines {
+                    eprintln!("traffic gate: {line}");
+                }
+            }
+            Err(e) => {
+                eprintln!("traffic gate FAILED: {e}");
+                std::process::exit(1);
+            }
         }
     }
     println!("{}", to_markdown(&rows));

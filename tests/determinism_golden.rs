@@ -15,7 +15,7 @@
 use carlos::check::Checker;
 use carlos::trace::Tracer;
 use carlos::core::{CoreConfig, Runtime};
-use carlos::lrc::LrcConfig;
+use carlos::lrc::{LrcConfig, RegionSpec};
 use carlos::sim::time::{ms, us};
 use carlos::sim::transport::AckMode;
 use carlos::sim::{Bucket, Cluster, SimConfig, SimReport};
@@ -63,6 +63,14 @@ fn fingerprint(r: &SimReport) -> String {
 /// to exercise diff creation/application, page fetches, interval records,
 /// and the wire codec end to end.
 fn two_node_run(check: Option<Checker>, trace: Option<Tracer>) -> SimReport {
+    two_node_run_regions(check, trace, Vec::new())
+}
+
+fn two_node_run_regions(
+    check: Option<Checker>,
+    trace: Option<Tracer>,
+    regions: Vec<RegionSpec>,
+) -> SimReport {
     const N: usize = 2;
     let mut cluster = Cluster::new(SimConfig::osdi94(), N);
     if let Some(check) = &check {
@@ -74,8 +82,11 @@ fn two_node_run(check: Option<Checker>, trace: Option<Tracer>) -> SimReport {
     for node in 0..N as u32 {
         let check = check.clone();
         let trace = trace.clone();
+        let regions = regions.clone();
         cluster.spawn_node(node, move |ctx| {
-            let mut rt = Runtime::new(ctx, LrcConfig::osdi94(N, 1 << 15), CoreConfig::osdi94());
+            let mut lrc = LrcConfig::osdi94(N, 1 << 15);
+            lrc.regions = regions.clone();
+            let mut rt = Runtime::new(ctx, lrc, CoreConfig::osdi94());
             if let Some(check) = &check {
                 check.install(&mut rt);
             }
@@ -109,6 +120,14 @@ fn two_node_run(check: Option<Checker>, trace: Option<Tracer>) -> SimReport {
 /// Same shape, but with packet loss and the ARQ transport, so retransmit
 /// paths are part of the pinned behavior too.
 fn two_node_lossy_run(check: Option<Checker>, trace: Option<Tracer>) -> SimReport {
+    two_node_lossy_run_regions(check, trace, Vec::new())
+}
+
+fn two_node_lossy_run_regions(
+    check: Option<Checker>,
+    trace: Option<Tracer>,
+    regions: Vec<RegionSpec>,
+) -> SimReport {
     const N: usize = 2;
     let cfg = SimConfig::fast_test().with_loss(0.10, 77);
     let mut cluster = Cluster::new(cfg, N);
@@ -121,13 +140,15 @@ fn two_node_lossy_run(check: Option<Checker>, trace: Option<Tracer>) -> SimRepor
     for node in 0..N as u32 {
         let check = check.clone();
         let trace = trace.clone();
+        let regions = regions.clone();
         cluster.spawn_node(node, move |ctx| {
             let ack = AckMode::Arq {
                 window: 16,
                 rto: ms(5),
             };
-            let mut rt =
-                Runtime::with_ack_mode(ctx, LrcConfig::small_test(N), CoreConfig::fast_test(), ack);
+            let mut lrc = LrcConfig::small_test(N);
+            lrc.regions = regions.clone();
+            let mut rt = Runtime::with_ack_mode(ctx, lrc, CoreConfig::fast_test(), ack);
             if let Some(check) = &check {
                 check.install(&mut rt);
             }
@@ -156,6 +177,14 @@ fn two_node_lossy_run(check: Option<Checker>, trace: Option<Tracer>) -> SimRepor
 /// the fault subsystem's behavior — GE chain consumption, deferred
 /// deliveries, ARQ recovery — not just its absence.
 fn two_node_chaos_run(check: Option<Checker>, trace: Option<Tracer>) -> SimReport {
+    two_node_chaos_run_regions(check, trace, Vec::new())
+}
+
+fn two_node_chaos_run_regions(
+    check: Option<Checker>,
+    trace: Option<Tracer>,
+    regions: Vec<RegionSpec>,
+) -> SimReport {
     use carlos::sim::{FaultPlan, GeParams};
     const N: usize = 2;
     let plan = FaultPlan::new(0xC4A05)
@@ -181,13 +210,15 @@ fn two_node_chaos_run(check: Option<Checker>, trace: Option<Tracer>) -> SimRepor
     for node in 0..N as u32 {
         let check = check.clone();
         let trace = trace.clone();
+        let regions = regions.clone();
         cluster.spawn_node(node, move |ctx| {
             let ack = AckMode::Arq {
                 window: 16,
                 rto: ms(5),
             };
-            let mut rt =
-                Runtime::with_ack_mode(ctx, LrcConfig::small_test(N), CoreConfig::fast_test(), ack);
+            let mut lrc = LrcConfig::small_test(N);
+            lrc.regions = regions.clone();
+            let mut rt = Runtime::with_ack_mode(ctx, lrc, CoreConfig::fast_test(), ack);
             if let Some(check) = &check {
                 check.install(&mut rt);
             }
@@ -272,6 +303,86 @@ fn two_node_lossy_report_is_pinned() {
         &two_node_lossy_run(None, None),
         GOLDEN_TWO_NODE_LOSSY,
         "2-node lossy ARQ workload",
+    );
+}
+
+/// Hinting regions at the legacy default granule must be indistinguishable
+/// from no hints at all: the region table resolves to the same granule
+/// boundaries as plain paging, so all three pinned fingerprints stay
+/// bit-identical even though the hinted fault-batching machinery is armed
+/// (each access range still spans exactly one granule).
+#[test]
+fn default_granule_regions_leave_goldens_pinned() {
+    // osdi94 layout: 32 KiB region, 8 KiB pages — split into two hinted
+    // regions that both use the default 8 KiB granule.
+    let osdi = vec![
+        RegionSpec::new(0, 1 << 14, 8192),
+        RegionSpec::new(1 << 14, 1 << 14, 8192),
+    ];
+    assert_matches_golden(
+        &two_node_run_regions(None, None, osdi),
+        GOLDEN_TWO_NODE,
+        "2-node osdi94 workload with default-granule regions",
+    );
+    // small_test layout: 4 KiB region, 64 B pages.
+    let small = vec![
+        RegionSpec::new(0, 2048, 64),
+        RegionSpec::new(2048, 2048, 64),
+    ];
+    assert_matches_golden(
+        &two_node_lossy_run_regions(None, None, small.clone()),
+        GOLDEN_TWO_NODE_LOSSY,
+        "2-node lossy ARQ workload with default-granule regions",
+    );
+    assert_matches_golden(
+        &two_node_chaos_run_regions(None, None, small),
+        GOLDEN_TWO_NODE_CHAOS,
+        "2-node chaos workload with default-granule regions",
+    );
+}
+
+const GOLDEN_TSP_MIXED_GRANULARITY: &str = "\
+elapsed=38476452 events=727
+net messages=126 payload_bytes=10163 dropped=0
+node0 buckets User=37578500 Unix=246000 CarlOS=0 Idle=649592
+node0 counters app.done_ns=38467372 barrier.waits=3 carlos.accepted=33 carlos.batch_requests_served=1 carlos.discarded=30 carlos.forwarded=56 carlos.notices_applied=39 carlos.page_requests_served=5 carlos.sent=119 carlos.sent.release=33 carlos.sent.request=86 carlos.sent.system=4 carlos.update_diffs_received=28 lock.acquires=30 lock.local_reacquires=20 lock.releases=50 lrc.diffs_applied=39 lrc.diffs_created=41 lrc.intervals_created=30 lrc.notices_applied=39 lrc.pages_installed=0 lrc.records_resident=138 lrc.remote_faults=0 lrc.write_faults=41 net.loopback=60 net.sent=63 net.sent_bytes=5396 tsp.expansions=71157
+node1 buckets User=37701500 Unix=126000 CarlOS=0 Idle=648952
+node1 counters app.done_ns=38469732 barrier.waits=3 carlos.accepted=31 carlos.batch_requests=1 carlos.batched_fetches=2 carlos.discarded=28 carlos.notices_applied=41 carlos.page_requests=5 carlos.sent=59 carlos.sent.release=28 carlos.sent.release_nt=3 carlos.sent.request=28 carlos.sent.system=4 carlos.update_diffs_dropped=7 carlos.update_diffs_received=29 lock.acquires=28 lock.local_reacquires=18 lock.releases=46 lrc.diffs_applied=34 lrc.diffs_created=39 lrc.intervals_created=28 lrc.notices_applied=41 lrc.pages_installed=5 lrc.records_resident=131 lrc.remote_faults=4 lrc.write_faults=39 net.sent=63 net.sent_bytes=4767 tsp.expansions=71403";
+
+const GOLDEN_SOR_MIXED_GRANULARITY: &str = "\
+elapsed=5191904 events=130
+net messages=54 payload_bytes=5464 dropped=0
+node0 buckets User=5030800 Unix=54000 CarlOS=0 Idle=104744
+node0 counters app.done_ns=5167584 barrier.waits=10 carlos.accepted=10 carlos.batch_requests=1 carlos.batched_fetches=12 carlos.diff_requests=8 carlos.diff_requests_served=7 carlos.notices_applied=88 carlos.page_requests=12 carlos.page_requests_served=1 carlos.sent=10 carlos.sent.release=10 carlos.sent.system=17 lrc.diffs_applied=8 lrc.diffs_created=89 lrc.intervals_created=9 lrc.notices_applied=88 lrc.pages_installed=12 lrc.records_resident=114 lrc.remote_faults=9 lrc.write_faults=89 net.sent=27 net.sent_bytes=2025
+node1 buckets User=30800 Unix=54000 CarlOS=0 Idle=5107104
+node1 counters app.done_ns=5170472 barrier.waits=10 carlos.accepted=10 carlos.batch_requests_served=1 carlos.diff_requests=7 carlos.diff_requests_served=8 carlos.notices_applied=89 carlos.page_requests=1 carlos.page_requests_served=12 carlos.sent=10 carlos.sent.release_nt=10 carlos.sent.system=17 lrc.diffs_applied=7 lrc.diffs_created=88 lrc.intervals_created=8 lrc.notices_applied=89 lrc.pages_installed=1 lrc.records_resident=112 lrc.remote_faults=8 lrc.write_faults=88 net.sent=27 net.sent_bytes=3439";
+
+/// Mixed-granularity runs are pinned too: TSP with 64 B fine granules on
+/// its hot scalars and SOR with row-sized granules, both with fetch
+/// coalescing and write-notice aggregation switched on. These fingerprints
+/// define the variable-granularity protocol's behavior; they are expected
+/// to differ from the legacy goldens (that is the point), but must never
+/// drift run to run.
+#[test]
+fn mixed_granularity_reports_are_pinned() {
+    let mut tsp = carlos::apps::tsp::TspConfig::test(2, carlos::apps::tsp::TspVariant::Lock);
+    tsp.granularity_hints = true;
+    tsp.core = tsp.core.with_coalesced_fetches().with_aggregated_notices();
+    let r = carlos::apps::tsp::run_tsp(&tsp);
+    assert_matches_golden(
+        &r.app.report,
+        GOLDEN_TSP_MIXED_GRANULARITY,
+        "mixed-granularity 2-node TSP",
+    );
+
+    let mut sor = carlos::apps::sor::SorConfig::test(2);
+    sor.granularity_hints = true;
+    sor.core = sor.core.with_coalesced_fetches().with_aggregated_notices();
+    let r = carlos::apps::sor::run_sor(&sor);
+    assert_matches_golden(
+        &r.app.report,
+        GOLDEN_SOR_MIXED_GRANULARITY,
+        "mixed-granularity 2-node SOR",
     );
 }
 

@@ -65,6 +65,7 @@ fn run_script(scripts: &[Vec<Op>], mode: Mode) -> (Vec<u8>, u32) {
                 region_bytes: region,
                 gc_threshold_records: 200, // Force GCs under fuzz too.
                 ownership: carlos::lrc::PageOwnership::SingleOwner(0),
+                regions: Vec::new(),
             };
             let core = match mode {
                 Mode::Update => CoreConfig::fast_test().with_update_strategy(),
