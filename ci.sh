@@ -12,7 +12,8 @@ cargo test --workspace -q
 
 echo "==> cargo clippy -D warnings (hot-path + hardened crates)"
 cargo clippy -p carlos-util -p carlos-sim -p carlos-lrc -p carlos-core \
-    -p carlos-sync -p carlos-check -p carlos-trace -p carlos-bench -p bytes \
+    -p carlos-sync -p carlos-check -p carlos-trace -p carlos-bench \
+    -p carlos-explore -p bytes \
     -p criterion -p proptest -p parking_lot --all-targets -- -D warnings
 
 echo "==> chaos profile (scripted faults + pinned fingerprints)"
@@ -23,6 +24,18 @@ cargo test -q -p carlos-sim --test transport
 echo "==> checker profile (consistency oracle over schedule sweeps)"
 cargo test -q -p carlos-check
 cargo test -q --test schedules
+
+echo "==> explore profile (guided DPOR search + seeded-bug smoke)"
+# Four campaigns, all inside the one example run: the historical 72-run
+# random jitter sweep; guided search at a <=64-execution budget per app
+# over SOR/Quicksort/TSP/Water plus the mixed-granularity tsp+vg
+# variant; the dedupe-effectiveness gate (guided must cover the windowed
+# class space with >= 3x fewer executions than naive enumeration); and
+# one armed seeded-bug smoke (the simulator's FIFO-clamp skip) that the
+# guided explorer must find and shrink. Any oracle violation, wrong
+# answer, crash, missed smoke, or gate failure exits nonzero. The full
+# seeded-bug regression suite (tests/seeded_bugs.rs) runs under the
+# workspace test pass above.
 cargo run --release -q --example explore
 
 echo "==> trace profile (causal tracer + traced paper-table report)"

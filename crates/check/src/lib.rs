@@ -35,6 +35,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod delivery;
 mod hb;
 mod oracle;
 
@@ -42,11 +43,14 @@ use std::collections::HashSet;
 use std::fmt;
 use std::sync::Arc;
 
+use bytes::Bytes;
 use carlos_core::Runtime;
 use carlos_lrc::{EngineObserver, IntervalRecord, Vc};
 use carlos_sim::{Cluster, NodeId, Ns, WireObserver};
 use parking_lot::Mutex;
 
+use delivery::DeliveryLog;
+pub use delivery::DeliveryEvent;
 use hb::HbTracker;
 use oracle::Oracle;
 
@@ -100,6 +104,7 @@ impl fmt::Display for Violation {
 struct State {
     hb: HbTracker,
     oracle: Oracle,
+    deliveries: DeliveryLog,
     violations: Vec<Violation>,
     reported: HashSet<String>,
     fail_fast: bool,
@@ -154,6 +159,7 @@ impl Checker {
             inner: Arc::new(Mutex::new(State {
                 hb: HbTracker::new(n_nodes),
                 oracle: Oracle::new(n_nodes),
+                deliveries: DeliveryLog::new(n_nodes),
                 violations: Vec::new(),
                 reported: HashSet::new(),
                 fail_fast: false,
@@ -190,6 +196,15 @@ impl Checker {
     /// detection still applies.
     pub fn allow_racy(&self, addr: usize, len: usize) {
         self.inner.lock().oracle.allow_racy(addr, len);
+    }
+
+    /// The wire-delivery log in observation (virtual-time) order, each
+    /// delivery annotated with message-level vector clocks. The schedule
+    /// explorer queries this — via [`DeliveryEvent::flip_unordered`] — for
+    /// the racing-delivery frontier of a finished run.
+    #[must_use]
+    pub fn deliveries(&self) -> Vec<DeliveryEvent> {
+        self.inner.lock().deliveries.events().to_vec()
     }
 
     /// All violations recorded so far, in observation order.
@@ -295,5 +310,27 @@ impl WireObserver for Checker {
             .hb
             .on_frame(src, dst, sent_at, delivered_at);
         self.sink_passive(found);
+    }
+
+    fn frame_sent(&self, src: NodeId, dst: NodeId, at: Ns, payload: &Bytes) {
+        self.inner.lock().deliveries.on_sent(src, dst, at, payload);
+    }
+
+    fn frame_dropped(&self, src: NodeId, dst: NodeId, at: Ns, payload: &Bytes) {
+        self.inner.lock().deliveries.on_dropped(src, dst, at, payload);
+    }
+
+    fn frame_delivered_payload(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        sent_at: Ns,
+        delivered_at: Ns,
+        payload: &Bytes,
+    ) {
+        self.inner
+            .lock()
+            .deliveries
+            .on_delivered(src, dst, sent_at, delivered_at, payload);
     }
 }

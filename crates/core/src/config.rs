@@ -15,6 +15,34 @@ pub enum Strategy {
     Update,
 }
 
+/// Seeded protocol mutations for explorer-recall regression tests.
+///
+/// Each variant injects one realistic wire-protocol bug into the runtime.
+/// The hooks are compiled only under `cfg(any(test, feature =
+/// "seeded-bugs"))` and fire only when a [`CoreConfig::seeded_bug`] is
+/// installed, so production builds and default configs are byte-identical
+/// to a runtime without them. `tests/seeded_bugs.rs` asserts the guided
+/// schedule explorer finds and shrinks every one of these while the random
+/// jitter sweep may miss them.
+#[cfg(any(test, feature = "seeded-bugs"))]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeededBug {
+    /// In the aggregated RELEASE encoding path, silently revert one
+    /// changed non-creator vector-clock component of a delta-coded record
+    /// back to its predecessor's value — the wire carries a write notice
+    /// with an understated timestamp. Requires
+    /// [`CoreConfig::aggregate_notices`].
+    DropNoticeClock,
+    /// Serve one granule short in a batched fetch reply: a batch request
+    /// for two or more granules gets a well-formed reply carrying all but
+    /// the last sub-reply. Requires [`CoreConfig::coalesce_fetches`].
+    SkipBatchGranule,
+    /// Apply buffered eager diffs without the completeness revalidation:
+    /// a page whose carried-diff set does not cover all known writes is
+    /// revalidated anyway, exposing stale bytes to the next read.
+    EagerSkipRevalidate,
+}
+
 /// Per-operation CPU costs charged to the `CarlOS` bucket, plus runtime
 /// options.
 ///
@@ -89,6 +117,10 @@ pub struct CoreConfig {
     /// receiver reconstructs the exact record set — and off by default so
     /// legacy frames stay byte-identical.
     pub aggregate_notices: bool,
+    /// Seeded protocol mutation for explorer-recall tests (never set in
+    /// production configs; see [`SeededBug`]).
+    #[cfg(any(test, feature = "seeded-bugs"))]
+    pub seeded_bug: Option<SeededBug>,
 }
 
 impl Default for CoreConfig {
@@ -121,6 +153,8 @@ impl CoreConfig {
             fetch_timeout: None,
             coalesce_fetches: false,
             aggregate_notices: false,
+            #[cfg(any(test, feature = "seeded-bugs"))]
+            seeded_bug: None,
         }
     }
 
@@ -147,7 +181,18 @@ impl CoreConfig {
             fetch_timeout: None,
             coalesce_fetches: false,
             aggregate_notices: false,
+            #[cfg(any(test, feature = "seeded-bugs"))]
+            seeded_bug: None,
         }
+    }
+
+    /// Returns `self` with the given seeded protocol mutation installed
+    /// (explorer-recall tests only).
+    #[cfg(any(test, feature = "seeded-bugs"))]
+    #[must_use]
+    pub fn with_seeded_bug(mut self, bug: SeededBug) -> Self {
+        self.seeded_bug = Some(bug);
+        self
     }
 
     /// Returns `self` with TreadMarks-style specialized dispatch enabled.

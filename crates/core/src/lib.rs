@@ -49,6 +49,8 @@ pub mod runtime;
 
 pub use annotation::Annotation;
 pub use config::{CoreConfig, Strategy};
+#[cfg(any(test, feature = "seeded-bugs"))]
+pub use config::SeededBug;
 pub use heap::CoherentHeap;
 pub use message::{AcceptedMsg, Consistency, Message};
 pub use multithread::{SharedRuntime, ThreadEvent, Worker};

@@ -194,6 +194,16 @@ impl Core {
             p.msg_sent(self.node(), dst, class, msg.handler, self.ctx.now());
         }
         let pad = self.cfg.wire_header_pad;
+        #[cfg(any(test, feature = "seeded-bugs"))]
+        if self.cfg.seeded_bug == Some(crate::config::SeededBug::DropNoticeClock)
+            && self.cfg.aggregate_notices
+        {
+            if let Some(mutated) = seeded_drop_notice_clock(msg) {
+                self.ctx.count("carlos.seeded_bug_fired", 1);
+                self.transport.send(dst, mutated.to_framed_with(pad, true));
+                return;
+            }
+        }
         self.transport
             .send(dst, msg.to_framed_with(pad, self.cfg.aggregate_notices));
     }
@@ -351,7 +361,34 @@ impl Core {
                     self.probe_cost(class, CostPhase::DiffApply, apply_cost);
                     self.charge(apply_cost);
                     self.ctx.count("carlos.update_diffs_received", 1);
-                    if complete {
+                    // Seeded bug EagerSkipRevalidate: apply the carried
+                    // eager diffs even when the accept is incomplete — the
+                    // release's required cut is not dominated, so write
+                    // notices causally below these diffs may be missing,
+                    // and applying now can revalidate a page with bytes a
+                    // not-yet-seen record should have superseded. The slip
+                    // fires only when the cut is short by exactly one
+                    // interval (an off-by-one in the revalidation gate):
+                    // a surgically flipped delivery produces precisely
+                    // that state, while coarse random jitter usually tears
+                    // the cut open much wider.
+                    #[cfg(any(test, feature = "seeded-bugs"))]
+                    let bug_eager = !complete
+                        && self.cfg.seeded_bug
+                            == Some(crate::config::SeededBug::EagerSkipRevalidate)
+                        && {
+                            let vt = self.engine.vt();
+                            (0..vt.len() as u32)
+                                .map(|n| u64::from(required.get(n).saturating_sub(vt.get(n))))
+                                .sum::<u64>()
+                                == 1
+                        };
+                    #[cfg(not(any(test, feature = "seeded-bugs")))]
+                    let bug_eager = false;
+                    if bug_eager {
+                        self.ctx.count("carlos.seeded_bug_fired", 1);
+                    }
+                    if complete || bug_eager {
                         for p in pages {
                             self.maybe_apply_buffered(p);
                         }
@@ -481,6 +518,23 @@ impl Core {
                 let mut dec = Decoder::new(&msg.body);
                 let n = dec.get_u32().expect("batch request count");
                 self.ctx.count("carlos.batch_requests_served", 1);
+                // Seeded bug SkipBatchGranule: answer an oversized batch one
+                // sub-reply short, modeling an off-by-one at a reply-buffer
+                // capacity boundary — batches this large only form when a
+                // release is held back long enough for many invalidations
+                // to pile up, so the slip is schedule-dependent. The reply
+                // is well-formed, so the requester accepts it — and then
+                // waits forever for the granule that never comes.
+                #[cfg(any(test, feature = "seeded-bugs"))]
+                let n = if self.cfg.seeded_bug
+                    == Some(crate::config::SeededBug::SkipBatchGranule)
+                    && n >= 15
+                {
+                    self.ctx.count("carlos.seeded_bug_fired", 1);
+                    n - 1
+                } else {
+                    n
+                };
                 let mut body = Encoder::new();
                 body.put_u32(n);
                 for _ in 0..n {
@@ -658,6 +712,14 @@ impl Core {
         if self.inflight.iter().any(|&(p, _)| p == page) {
             return;
         }
+        // Seeded bug EagerSkipRevalidate: apply buffered eager diffs
+        // without the revalidation gates below — neither the
+        // transitively-closed-cut guard nor the coverage check runs, so a
+        // page can revalidate with stale bytes.
+        #[cfg(any(test, feature = "seeded-bugs"))]
+        let bug_eager = self.cfg.seeded_bug == Some(crate::config::SeededBug::EagerSkipRevalidate);
+        #[cfg(not(any(test, feature = "seeded-bugs")))]
+        let bug_eager = false;
         // A pending accept means our write-notice knowledge is not a
         // transitively closed cut: the message's required timestamp proves
         // records exist that we have not seen, and some of them may carry
@@ -665,7 +727,7 @@ impl Core {
         // buffer. Applying now could order a causally-later diff first and
         // let its bytes be overwritten when the missing records arrive, so
         // hold everything until the repair completes.
-        if !self.pending_accepts.is_empty() {
+        if !self.pending_accepts.is_empty() && !bug_eager {
             return;
         }
         if self.engine.page_state(page) == carlos_lrc::PageState::Missing {
@@ -681,6 +743,10 @@ impl Core {
             None => return,
             Some(recs) => self.engine.covers_with_claims(page, recs),
         };
+        if bug_eager && !complete {
+            self.ctx.count("carlos.seeded_bug_fired", 1);
+        }
+        let complete = complete || bug_eager;
         if complete {
             if let Some(all) = self.pending_diffs.remove(&page) {
                 self.engine.apply_diff_records(page, all);
@@ -1607,4 +1673,40 @@ impl Runtime {
         c.count("lrc.pages_installed", s.pages_installed);
         c.count("lrc.records_resident", self.core.engine.record_count() as u64);
     }
+}
+
+/// Seeded bug `DropNoticeClock`: produce a copy of a RELEASE message with
+/// one changed non-creator vector-clock component of a delta-coded record
+/// reverted to its group predecessor's value — byte-identical to the
+/// aggregated encoder silently dropping that delta on the wire. Returns
+/// `None` when the message has no delta-coded record with such a
+/// component (the encoding would carry every record in full, so there is
+/// nothing to drop).
+#[cfg(any(test, feature = "seeded-bugs"))]
+fn seeded_drop_notice_clock(msg: &Message) -> Option<Message> {
+    fn sat16(v: u32) -> u16 {
+        u16::try_from(v).unwrap_or(u16::MAX)
+    }
+    let Consistency::Release { records, .. } = &msg.consistency else {
+        return None;
+    };
+    for i in 1..records.len() {
+        let (prev, rec) = (&records[i - 1], &records[i]);
+        if prev.node != rec.node {
+            continue;
+        }
+        let target = rec
+            .vc
+            .iter()
+            .find(|&(n, v)| n != rec.node && sat16(v) != sat16(prev.vc.get(n)));
+        if let Some((n, _)) = target {
+            let mut mutated = msg.clone();
+            if let Consistency::Release { records, .. } = &mut mutated.consistency {
+                let reverted = records[i - 1].vc.get(n);
+                records[i].vc.set(n, reverted);
+            }
+            return Some(mutated);
+        }
+    }
+    None
 }

@@ -764,7 +764,7 @@ impl NodeCtx {
         if let Some(obs) = &k.observer {
             obs.frame_sent(self.node, dst, now, &dgram.payload);
         }
-        if let Some(deliver_at) = k.wire_transmit(self.node, dst, dgram.payload.len(), now) {
+        if let Some(deliver_at) = k.wire_transmit_frame(self.node, dst, &dgram.payload, now) {
             k.push_event(deliver_at, EvKind::Deliver { dst, dgram });
         } else if let Some(obs) = &k.observer {
             obs.frame_dropped(self.node, dst, now, &dgram.payload);

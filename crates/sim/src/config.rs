@@ -2,8 +2,11 @@
 
 use crate::{
     fault::FaultPlan,
+    schedule::SchedulePlan,
     time::{us, Ns},
 };
+#[cfg(any(test, feature = "seeded-bugs"))]
+use crate::time::NodeId;
 
 /// Configuration for a simulated cluster.
 ///
@@ -56,6 +59,23 @@ pub struct SimConfig {
     /// serial whenever a [`crate::WireObserver`] (checker, tracer) is
     /// attached, since observers require a single serialized wire view.
     pub parallel: bool,
+    /// Targeted per-flow delivery perturbations. The empty default plan
+    /// perturbs nothing and leaves event timing bit-identical to builds
+    /// predating the knob. A non-empty plan adds the named extra delays to
+    /// specific `(src, dst, seq)` DATA flows, preserving per-pair FIFO by
+    /// the same clamp the jitter path uses. Deterministic (no RNG) and
+    /// parallel-mode compatible: a plan only ever adds delay, so the
+    /// conservative scheduler's lookahead lower bound still holds.
+    pub schedule: SchedulePlan,
+    /// Seeded wire bug for explorer-recall tests: when set, a plan-perturbed
+    /// DATA frame on this `(src, dst)` pair skips the per-pair FIFO clamp,
+    /// allowing its successor to overtake it — a protocol-order violation
+    /// the checker's FIFO mirror reports. Only compiled under
+    /// `cfg(any(test, feature = "seeded-bugs"))`; never set in production
+    /// configs, and inert under the random jitter sweep (which uses no
+    /// plan), so only guided exploration can expose it.
+    #[cfg(any(test, feature = "seeded-bugs"))]
+    pub seeded_fifo_pair: Option<(NodeId, NodeId)>,
 }
 
 impl Default for SimConfig {
@@ -91,6 +111,9 @@ impl SimConfig {
             jitter_max: 0,
             jitter_seed: 0,
             parallel: false,
+            schedule: SchedulePlan::new(),
+            #[cfg(any(test, feature = "seeded-bugs"))]
+            seeded_fifo_pair: None,
         }
     }
 
@@ -111,6 +134,9 @@ impl SimConfig {
             jitter_max: 0,
             jitter_seed: 0,
             parallel: false,
+            schedule: SchedulePlan::new(),
+            #[cfg(any(test, feature = "seeded-bugs"))]
+            seeded_fifo_pair: None,
         }
     }
 
@@ -153,6 +179,17 @@ impl SimConfig {
         self
     }
 
+    /// Returns `self` with the given targeted delivery-perturbation plan
+    /// (builder style). Generalizes [`SimConfig::with_jitter`]: instead of
+    /// delaying every frame by a pseudo-random amount, the plan delays only
+    /// the named `(src, dst, seq)` DATA flows by chosen amounts. Composes
+    /// with jitter (plan delay is added after the jitter draw).
+    #[must_use]
+    pub fn with_schedule(mut self, plan: SchedulePlan) -> Self {
+        self.schedule = plan;
+        self
+    }
+
     /// Time a frame of `payload_bytes` occupies the shared wire.
     #[must_use]
     pub fn frame_time(&self, payload_bytes: usize) -> Ns {
@@ -186,6 +223,16 @@ mod tests {
     #[should_panic(expected = "within [0, 1]")]
     fn with_loss_rejects_bad_probability() {
         let _ = SimConfig::fast_test().with_loss(1.5, 0);
+    }
+
+    #[test]
+    fn with_schedule_builder() {
+        let plan = SchedulePlan::new().delay(0, 1, 3, us(25));
+        let c = SimConfig::fast_test().with_schedule(plan.clone());
+        assert_eq!(c.schedule, plan);
+        // Defaults carry the empty plan.
+        assert!(SimConfig::osdi94().schedule.is_empty());
+        assert!(SimConfig::fast_test().schedule.is_empty());
     }
 
     #[test]

@@ -257,4 +257,97 @@ impl Kernel {
             }
         }
     }
+
+    /// [`Kernel::wire_transmit`] plus targeted schedule-plan perturbation.
+    ///
+    /// Inspects the frame's wire header to identify its flow: DATA frames
+    /// carry the per-(src, dst) transport sequence number, and if the
+    /// config's [`crate::SchedulePlan`] names the `(src, dst, seq)` flow,
+    /// the plan's extra delay is added to the delivery time. The per-pair
+    /// FIFO clamp then runs for *every* frame on the wire (not just
+    /// perturbed ones) whenever a plan is installed, mirroring the jitter
+    /// path: delaying one DATA frame must also hold back its successors on
+    /// the same pair, or the transport's in-order assumption breaks.
+    ///
+    /// With the empty plan this is exactly `wire_transmit`: no header
+    /// parsing, no clamp bookkeeping, bit-identical timing.
+    pub fn wire_transmit_frame(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        payload: &[u8],
+        ready_at: Ns,
+    ) -> Option<Ns> {
+        let base = self.wire_transmit(src, dst, payload.len(), ready_at)?;
+        if self.config.schedule.is_empty() {
+            return Some(base);
+        }
+        let mut at = base;
+        if let Some(seq) = data_frame_seq(payload) {
+            if let Some(extra) = self.config.schedule.get(src, dst, seq) {
+                at += extra;
+                // Seeded bug (FifoReorder): on the configured pair a
+                // perturbed frame skips the FIFO clamp below and leaves no
+                // record of its delivery time, so the pair's next frame can
+                // overtake it — the checker's FIFO mirror flags the swap.
+                #[cfg(any(test, feature = "seeded-bugs"))]
+                if self.config.seeded_fifo_pair == Some((src, dst)) {
+                    return Some(at);
+                }
+            }
+        }
+        let last = self.pair_last_delivery.entry((src, dst)).or_insert(0);
+        at = at.max(*last);
+        *last = at;
+        Some(at)
+    }
+}
+
+/// Transport sequence number of a DATA frame, parsed from the wire header
+/// (`None` for control frames and anything too short to carry a header).
+fn data_frame_seq(payload: &[u8]) -> Option<u32> {
+    use crate::transport::{HEADER_BYTES, KIND_DATA};
+    if payload.len() >= HEADER_BYTES && payload[0] == KIND_DATA {
+        Some(u32::from_le_bytes(payload[1..HEADER_BYTES].try_into().ok()?))
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::SchedulePlan;
+
+    fn frame(seq: u32) -> Vec<u8> {
+        let mut p = vec![0u8; 64];
+        p[1..5].copy_from_slice(&seq.to_le_bytes());
+        p
+    }
+
+    #[test]
+    fn plan_clamp_holds_back_successors() {
+        let cfg = SimConfig::fast_test()
+            .with_schedule(SchedulePlan::new().delay(0, 1, 0, crate::time::ms(10)));
+        let mut k = Kernel::new(cfg, 2);
+        let t0 = k.wire_transmit_frame(0, 1, &frame(0), 0).unwrap();
+        let t1 = k.wire_transmit_frame(0, 1, &frame(1), 0).unwrap();
+        assert!(t0 >= crate::time::ms(10));
+        assert!(t1 >= t0, "FIFO clamp failed: {t1} < {t0}");
+    }
+
+    #[test]
+    fn seeded_fifo_pair_lets_successor_overtake() {
+        let mut cfg = SimConfig::fast_test()
+            .with_schedule(SchedulePlan::new().delay(0, 1, 0, crate::time::ms(10)));
+        cfg.seeded_fifo_pair = Some((0, 1));
+        let mut k = Kernel::new(cfg, 2);
+        let t0 = k.wire_transmit_frame(0, 1, &frame(0), 0).unwrap();
+        let t1 = k.wire_transmit_frame(0, 1, &frame(1), 0).unwrap();
+        assert!(t1 < t0, "seeded bug should let seq 1 overtake: {t1} {t0}");
+        // The bug is pair-scoped: other pairs still clamp.
+        let u0 = k.wire_transmit_frame(1, 0, &frame(0), 0).unwrap();
+        let u1 = k.wire_transmit_frame(1, 0, &frame(1), 0).unwrap();
+        assert!(u1 >= u0);
+    }
 }

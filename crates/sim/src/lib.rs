@@ -51,6 +51,7 @@ mod parallel;
 pub mod config;
 pub mod error;
 pub mod fault;
+pub mod schedule;
 pub mod stats;
 pub mod time;
 pub mod transport;
@@ -59,6 +60,7 @@ pub use cluster::{Cluster, Datagram, NodeCtx, SimReport, WireObserver};
 pub use config::SimConfig;
 pub use error::{abort, AbortInfo, BlockedProc, SimError};
 pub use fault::{FaultPlan, FaultSpec, GeParams};
+pub use schedule::{FlowId, SchedulePlan};
 pub use stats::{Bucket, ClassStats, Counters, FrameClasses, NetStats, TimeBuckets};
 pub use time::{NodeId, Ns};
 pub use transport::{AckMode, ArqTuning, FrameBuf, Transport, TransportObserver};

@@ -1012,7 +1012,7 @@ impl Runner {
             .counters
             .add("net.sent_bytes", payload.len() as u64);
         debug_assert!(k.observer.is_none(), "observers force serial mode");
-        if let Some(deliver_at) = k.wire_transmit(src, dst, payload.len(), now) {
+        if let Some(deliver_at) = k.wire_transmit_frame(src, dst, &payload, now) {
             let dgram = Datagram {
                 src,
                 payload,

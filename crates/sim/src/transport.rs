@@ -85,8 +85,8 @@ pub enum AckMode {
 }
 
 /// Wire header: 1 byte kind + 4 bytes sequence/ack number.
-const HEADER_BYTES: usize = 5;
-const KIND_DATA: u8 = 0;
+pub(crate) const HEADER_BYTES: usize = 5;
+pub(crate) const KIND_DATA: u8 = 0;
 const KIND_ACK: u8 = 1;
 const KIND_PING: u8 = 2;
 const KIND_PONG: u8 = 3;

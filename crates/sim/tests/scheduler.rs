@@ -390,3 +390,124 @@ fn wait_mailbox_does_not_consume() {
     });
     c.run();
 }
+
+/// A payload shaped like a transport DATA frame: kind byte 0 followed by
+/// the little-endian sequence number, padded to `len` bytes.
+fn data_frame(seq: u32, len: usize) -> Vec<u8> {
+    let mut p = vec![0u8; len.max(5)];
+    p[1..5].copy_from_slice(&seq.to_le_bytes());
+    p
+}
+
+#[test]
+fn schedule_plan_flips_racing_deliveries() {
+    use carlos_sim::SchedulePlan;
+    let cfg = || SimConfig {
+        send_overhead: 0,
+        recv_overhead: 0,
+        wire_latency: 0,
+        frame_header_bytes: 0,
+        bandwidth_bps: 8_000_000, // 1 byte per microsecond
+        ..SimConfig::fast_test()
+    };
+    let run = |plan: SchedulePlan| {
+        let first = Arc::new(AtomicU64::new(u64::MAX));
+        let mut c = Cluster::new(cfg().with_schedule(plan), 3);
+        c.spawn_node(0, |ctx| ctx.send_datagram(2, data_frame(0, 1000)));
+        c.spawn_node(1, |ctx| ctx.send_datagram(2, data_frame(0, 500)));
+        let f = first.clone();
+        c.spawn_node(2, move |ctx| {
+            let a = ctx.wait_recv(None).expect("first frame");
+            let _ = ctx.wait_recv(None).expect("second frame");
+            f.store(u64::from(a.src), Ordering::SeqCst);
+        });
+        c.run();
+        first.load(Ordering::SeqCst)
+    };
+    // Baseline: node 0 grabs the medium first, so its frame lands first.
+    assert_eq!(run(SchedulePlan::new()), 0);
+    // Delaying node 0's flow past node 1's frame flips the delivery order.
+    let plan = SchedulePlan::new().delay(0, 2, 0, ms(5));
+    assert_eq!(run(plan), 1);
+}
+
+#[test]
+fn schedule_plan_preserves_pair_fifo() {
+    use carlos_sim::SchedulePlan;
+    // Delay only seq 0 on the pair; seq 1 must NOT overtake it.
+    let plan = SchedulePlan::new().delay(0, 1, 0, ms(10));
+    let mut c = Cluster::new(SimConfig::fast_test().with_schedule(plan), 2);
+    c.spawn_node(0, |ctx| {
+        ctx.send_datagram(1, data_frame(0, 100));
+        ctx.send_datagram(1, data_frame(1, 100));
+    });
+    c.spawn_node(1, |ctx| {
+        let a = ctx.wait_recv(None).expect("first");
+        let t1 = ctx.now();
+        let b = ctx.wait_recv(None).expect("second");
+        let t2 = ctx.now();
+        assert_eq!(u32::from_le_bytes(a.payload[1..5].try_into().unwrap()), 0);
+        assert_eq!(u32::from_le_bytes(b.payload[1..5].try_into().unwrap()), 1);
+        assert!(t1 >= ms(10), "perturbed frame not delayed: {t1}");
+        assert!(t2 >= t1, "successor overtook the perturbed frame");
+    });
+    c.run();
+}
+
+#[test]
+fn schedule_plan_runs_are_deterministic() {
+    use carlos_sim::SchedulePlan;
+    let run = || {
+        let plan = SchedulePlan::new().delay(0, 1, 1, us(700)).delay(2, 1, 0, us(30));
+        let mut c = Cluster::new(SimConfig::fast_test().with_schedule(plan), 3);
+        for n in [0u32, 2u32] {
+            c.spawn_node(n, move |ctx| {
+                for i in 0..4u32 {
+                    ctx.compute(us(u64::from(n) + 1));
+                    ctx.send_datagram(1, data_frame(i, 64));
+                }
+            });
+        }
+        c.spawn_node(1, |ctx| {
+            for _ in 0..8 {
+                let _ = ctx.wait_recv(None).expect("frame");
+            }
+        });
+        c.run()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.elapsed, b.elapsed);
+    assert_eq!(a.events_processed, b.events_processed);
+    assert_eq!(a.net, b.net);
+}
+
+#[test]
+fn empty_schedule_is_bit_identical_to_no_schedule() {
+    use carlos_sim::SchedulePlan;
+    let run = |with_knob: bool| {
+        let cfg = if with_knob {
+            SimConfig::fast_test().with_schedule(SchedulePlan::new())
+        } else {
+            SimConfig::fast_test()
+        };
+        let mut c = Cluster::new(cfg, 2);
+        c.spawn_node(0, |ctx| {
+            for i in 0..6u32 {
+                ctx.send_datagram(1, data_frame(i, 256));
+                ctx.compute(us(5));
+            }
+        });
+        c.spawn_node(1, |ctx| {
+            for _ in 0..6 {
+                let _ = ctx.wait_recv(None).expect("frame");
+            }
+        });
+        c.run()
+    };
+    let a = run(false);
+    let b = run(true);
+    assert_eq!(a.elapsed, b.elapsed);
+    assert_eq!(a.events_processed, b.events_processed);
+    assert_eq!(a.net, b.net);
+}

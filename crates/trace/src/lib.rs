@@ -72,6 +72,19 @@ pub struct FlowKey {
     pub seq: u32,
 }
 
+impl FlowKey {
+    /// Parses a wire frame into its causal flow identity. Returns the
+    /// transport kind byte alongside the key; `None` for payloads too short
+    /// to carry a transport header. Only DATA frames (kind 0) have
+    /// per-pair sequence numbers that identify a unique flow; control
+    /// frames reuse the field for ack/sequence bookkeeping.
+    #[must_use]
+    pub fn from_frame(src: NodeId, dst: NodeId, payload: &[u8]) -> Option<(u8, FlowKey)> {
+        let (kind, seq) = wire_header(payload)?;
+        Some((kind, FlowKey { src, dst, seq }))
+    }
+}
+
 /// The life of one message, send intent through handler dispatch.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Flow {
@@ -311,13 +324,20 @@ impl Tracer {
 }
 
 /// Transport frame header layout (mirrors `carlos_sim::transport`): 1 kind
-/// byte + 4-byte LE sequence number.
-fn parse_header(payload: &Bytes) -> Option<(u8, u32)> {
+/// byte + 4-byte LE sequence number. Returns `(kind, seq)`, or `None` for
+/// payloads too short to carry a header. Public so schedule-exploration
+/// tooling can name flows without re-deriving the wire format.
+#[must_use]
+pub fn wire_header(payload: &[u8]) -> Option<(u8, u32)> {
     if payload.len() < 5 {
         return None;
     }
     let seq = u32::from_le_bytes(payload[1..5].try_into().ok()?);
     Some((payload[0], seq))
+}
+
+fn parse_header(payload: &Bytes) -> Option<(u8, u32)> {
+    wire_header(payload)
 }
 
 impl CoreProbe for Tracer {

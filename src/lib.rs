@@ -26,7 +26,11 @@
 //! - a causal **tracer**: per-message flows threaded send → wire → ARQ →
 //!   deliver → dispatch, per-message-class cost attribution mirroring the
 //!   paper's §5.4 microcosts, and Chrome-trace / DOT / metrics-JSON
-//!   export, also a pure observer ([`trace`]).
+//!   export, also a pure observer ([`trace`]);
+//! - a guided **schedule explorer**: DPOR-style racing-delivery search
+//!   driven by targeted per-message delivery perturbations, with
+//!   happens-before schedule dedupe and delta-debugging counterexample
+//!   shrinking ([`explore`]).
 //!
 //! # Quick start
 //!
@@ -65,6 +69,7 @@ pub use carlos_apps as apps;
 pub use carlos_bench as bench;
 pub use carlos_check as check;
 pub use carlos_core as core;
+pub use carlos_explore as explore;
 pub use carlos_lrc as lrc;
 pub use carlos_sim as sim;
 pub use carlos_sync as sync;

@@ -111,6 +111,53 @@ fn hybrids_are_clean_across_schedules() {
     }
 }
 
+/// Mixed-granularity ("+vg") configurations — granularity hints plus
+/// aggregated write notices plus coalesced batch fetches — change the
+/// wire protocol (delta-coded RELEASE records, multi-granule SYS_BATCH
+/// replies, eager region diffs), so they get their own oracle sweep: the
+/// variable-granularity encodings must stay exact and race-free under the
+/// same schedule perturbations as the page-granularity baseline.
+#[test]
+fn vg_apps_are_clean_and_exact_across_schedules() {
+    let vg_core = |cfg: carlos::core::CoreConfig| {
+        cfg.with_coalesced_fetches().with_aggregated_notices()
+    };
+    let reference = sequential_reference(&SorConfig::test(1));
+    let base = TspConfig::test(3, TspVariant::Lock);
+    let optimum = Cities::generate(base.n_cities, base.seed).held_karp();
+    for seed in [SEEDS[0], SEEDS[2]] {
+        let mut s = SorConfig::test(3);
+        s.sim = s.sim.with_jitter(us(50), seed);
+        s.core = vg_core(s.core);
+        s.granularity_hints = true;
+        let sc = Checker::new(s.n_nodes);
+        s.check = Some(sc.clone());
+        let r = run_sor(&s);
+        assert_eq!(r.grid, reference, "seed {seed}: SOR+vg diverged");
+        sc.assert_clean();
+
+        let mut q = QsortConfig::test(3, QsortVariant::Lock);
+        q.sim = q.sim.with_jitter(us(50), seed);
+        q.core = vg_core(q.core);
+        q.granularity_hints = true;
+        let qc = Checker::new(q.n_nodes);
+        q.check = Some(qc.clone());
+        let r = run_qsort(&q);
+        assert!(r.sorted && r.permutation_ok, "seed {seed}: qsort+vg");
+        qc.assert_clean();
+
+        let mut t = base.clone();
+        t.sim = t.sim.with_jitter(us(50), seed);
+        t.core = vg_core(t.core);
+        t.granularity_hints = true;
+        let tc = Checker::new(t.n_nodes);
+        t.check = Some(tc.clone());
+        let r = run_tsp(&t);
+        assert_eq!(r.best_len, optimum, "seed {seed}: tsp+vg suboptimal");
+        tc.assert_clean();
+    }
+}
+
 /// Zero jitter must draw nothing from the jitter RNG: the checked run's
 /// virtual-time outcome is identical to an unchecked, unjittered run.
 #[test]
