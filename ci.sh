@@ -13,7 +13,7 @@ cargo test --workspace -q
 echo "==> cargo clippy -D warnings (hot-path + hardened crates)"
 cargo clippy -p carlos-util -p carlos-sim -p carlos-lrc -p carlos-core \
     -p carlos-sync -p carlos-check -p carlos-trace -p carlos-bench \
-    -p carlos-explore -p bytes \
+    -p carlos-explore -p carlos-serve -p bytes \
     -p criterion -p proptest -p parking_lot --all-targets -- -D warnings
 
 echo "==> chaos profile (scripted faults + pinned fingerprints)"
@@ -49,6 +49,17 @@ CARLOS_REPORT_QUICK=1 CARLOS_REPORT_OUT=target/BENCH_paper_quick.json \
     CARLOS_REPORT_BASELINE=BENCH_paper_quick.json \
     cargo run --release -q --example report > target/report_quick.md
 grep -q '| TSP |' target/report_quick.md
+
+echo "==> serve profile (DSM-backed KV serving under open-loop traffic)"
+# Store/workload/client/orchestration unit + integration tests: exact
+# fault-free serving, bit-identical reruns, serial/parallel equivalence.
+cargo test -q -p carlos-serve
+# The quick report run above regenerated the serve rows (KV/par n=8 under
+# the parallel scheduler + KV/chaos n=8 with harvest/yield) and gated
+# p999 latency and yield against the committed BENCH_paper_quick.json
+# baseline at 5% tolerance; confirm the serving table actually rendered.
+grep -q 'KV/par' target/report_quick.md
+grep -q 'KV/chaos' target/report_quick.md
 
 echo "==> parallel profile (conservative multi-baton scheduler)"
 # Bit-identical equivalence: pinned goldens, app seed sweeps, rerun

@@ -19,6 +19,7 @@ use carlos_apps::sor::{try_run_sor, SorConfig};
 use carlos_apps::tsp::{try_run_tsp, TspConfig, TspVariant};
 use carlos_apps::water::{try_run_water, WaterConfig, WaterVariant};
 use carlos_core::{CoreConfig, MsgClass};
+use carlos_serve::run::{try_run_serve, ServeConfig, ServeResult};
 use carlos_sim::SimError;
 use carlos_trace::Tracer;
 
@@ -480,10 +481,196 @@ pub fn run_parallel_rows(opts: &ReportOptions) -> Result<Vec<ReportRow>, SimErro
     Ok(rows)
 }
 
+/// One serving row: a `carlos-serve` run's latency/throughput/harvest
+/// columns (see DESIGN.md §14 for the metric definitions).
+#[derive(Debug, Clone)]
+pub struct ServeRow {
+    /// Variant label ("KV/par" fault-free under the parallel scheduler,
+    /// "KV/chaos" under the fault plan).
+    pub variant: &'static str,
+    /// Cluster size.
+    pub n: usize,
+    /// Elapsed virtual seconds (timed window, `app.done_ns`).
+    pub secs: f64,
+    /// Completed operations per virtual second.
+    pub ops_per_sec: f64,
+    /// Operations submitted (including CAS wire retries).
+    pub attempted: u64,
+    /// Operations completed before their deadline.
+    pub completed: u64,
+    /// Operations expired at their deadline.
+    pub timed_out: u64,
+    /// Median completion latency (virtual ns).
+    pub p50_ns: u64,
+    /// 99th-percentile completion latency (virtual ns).
+    pub p99_ns: u64,
+    /// 99.9th-percentile completion latency (virtual ns).
+    pub p999_ns: u64,
+    /// Total wire payload bytes per completed op (DSM traffic included).
+    pub bytes_per_op: u64,
+    /// Messages on the wire.
+    pub messages: u64,
+    /// Network utilization (fraction).
+    pub util: f64,
+    /// Yield: completed / attempted.
+    pub yield_fraction: f64,
+    /// Harvest: probe gets answered in time / probes issued (1.0 when no
+    /// probe was scheduled).
+    pub harvest: f64,
+    /// CAS increment intents that landed.
+    pub cas_done: u64,
+    /// Server mirror/DSM disagreements (must be 0).
+    pub mirror_mismatches: u64,
+}
+
+fn serve_row(variant: &'static str, n: usize, r: &ServeResult) -> ServeRow {
+    let t = &r.totals;
+    ServeRow {
+        variant,
+        n,
+        secs: r.app.secs,
+        ops_per_sec: r.ops_per_sec(),
+        attempted: t.client.attempted,
+        completed: t.client.completed,
+        timed_out: t.client.timed_out,
+        p50_ns: t.client.hist.quantile(0.50),
+        p99_ns: t.client.hist.quantile(0.99),
+        p999_ns: t.client.hist.quantile(0.999),
+        bytes_per_op: r.bytes_per_op(),
+        messages: r.app.messages,
+        util: r.app.net_util,
+        yield_fraction: t.yield_fraction(),
+        harvest: t.harvest(),
+        cas_done: t.cas_done,
+        mirror_mismatches: t.mirror_mismatches,
+    }
+}
+
+/// Runs the serving rows: fault-free KV workloads at n ∈ {8, 16, 32}
+/// under the conservative parallel scheduler (latency collected app-side,
+/// so no observer forces the serial fallback), plus one chaos row —
+/// burst loss and a partition-heal window over an ARQ transport — run
+/// serially, reporting harvest and yield. Quick mode runs a shortened
+/// n = 8 schedule and the same chaos row.
+///
+/// # Errors
+///
+/// Returns the first [`SimError`] if any run deadlocks, crashes, or
+/// aborts.
+pub fn run_serve_rows(opts: &ReportOptions) -> Result<Vec<ServeRow>, SimError> {
+    let mut rows = Vec::new();
+    let sizes: &[usize] = if opts.quick { &[8] } else { &[8, 16, 32] };
+    for &n in sizes {
+        let mut cfg = ServeConfig::paper(n);
+        if opts.quick {
+            // Same cost model and protocol, 1/32 of the schedule.
+            cfg.ops_per_client /= 32;
+            cfg.cas_per_client /= 32;
+        }
+        cfg.sim = cfg.sim.parallel(true);
+        let r = try_run_serve(&cfg)?;
+        assert_eq!(
+            r.totals.mirror_mismatches, 0,
+            "serve row {n}: store/mirror disagreement"
+        );
+        rows.push(serve_row("KV/par", n, &r));
+    }
+    let r = try_run_serve(&ServeConfig::chaos(8))?;
+    assert_eq!(r.totals.mirror_mismatches, 0, "chaos row: store/mirror disagreement");
+    rows.push(serve_row("KV/chaos", 8, &r));
+    Ok(rows)
+}
+
+/// Renders the serving rows as a Markdown table.
+#[must_use]
+pub fn serve_markdown(rows: &[ServeRow]) -> String {
+    let mut out = String::from("\n## Serving (carlos-serve)\n\n");
+    out.push_str(
+        "| Variant | N | Time(s) | Ops/s | p50(ms) | p99(ms) | p999(ms) | B/op | Yield | Harvest |\n\
+         |---|--:|--:|--:|--:|--:|--:|--:|--:|--:|\n",
+    );
+    #[allow(clippy::cast_precision_loss)]
+    for r in rows {
+        out.push_str(&format!(
+            "| {} | {} | {:.2} | {:.1} | {:.3} | {:.3} | {:.3} | {} | {:.4} | {:.4} |\n",
+            r.variant,
+            r.n,
+            r.secs,
+            r.ops_per_sec,
+            r.p50_ns as f64 / 1e6,
+            r.p99_ns as f64 / 1e6,
+            r.p999_ns as f64 / 1e6,
+            r.bytes_per_op,
+            r.yield_fraction,
+            r.harvest
+        ));
+    }
+    out
+}
+
+/// The serving regression gate: compares fresh serve rows against the
+/// committed baseline's `serve_rows` by (variant, n) and rejects the run
+/// if p999 latency grew or yield dropped by more than 5%.
+/// Returns one human-readable comparison line per gated metric.
+///
+/// # Errors
+///
+/// Returns a description of the first regression, or of a baseline /
+/// report row that is missing or malformed.
+pub fn serve_gate(rows: &[ServeRow], baseline_json: &str) -> Result<Vec<String>, String> {
+    const SERVE_TOLERANCE: f64 = 1.05;
+
+    let doc = carlos_trace::json::parse(baseline_json)
+        .map_err(|e| format!("baseline JSON does not parse: {e:?}"))?;
+    let baseline_rows = doc
+        .get("serve_rows")
+        .and_then(carlos_trace::JsonValue::as_array)
+        .ok_or_else(|| "baseline JSON has no serve_rows array".to_string())?;
+    let mut lines = Vec::new();
+    for r in rows {
+        #[allow(clippy::cast_precision_loss)]
+        let n = r.n as f64;
+        let base = baseline_rows
+            .iter()
+            .find(|b| {
+                b.get("variant").and_then(carlos_trace::JsonValue::as_str) == Some(r.variant)
+                    && b.get("n").and_then(carlos_trace::JsonValue::as_f64) == Some(n)
+            })
+            .ok_or_else(|| format!("baseline has no {}/n={} serve row", r.variant, r.n))?;
+        let base_p999 = base
+            .get("p999_ns")
+            .and_then(carlos_trace::JsonValue::as_f64)
+            .ok_or_else(|| format!("baseline {}/n={} row has no p999_ns", r.variant, r.n))?;
+        let base_yield = base
+            .get("yield")
+            .and_then(carlos_trace::JsonValue::as_f64)
+            .ok_or_else(|| format!("baseline {}/n={} row has no yield", r.variant, r.n))?;
+        #[allow(clippy::cast_precision_loss)]
+        let p999 = r.p999_ns as f64;
+        if p999 > base_p999 * SERVE_TOLERANCE {
+            return Err(format!(
+                "{}/n={} p999 regressed: {} ns vs baseline {} ns (>5%)",
+                r.variant, r.n, r.p999_ns, base_p999
+            ));
+        }
+        if r.yield_fraction < base_yield / SERVE_TOLERANCE {
+            return Err(format!(
+                "{}/n={} yield regressed: {:.4} vs baseline {:.4} (>5%)",
+                r.variant, r.n, r.yield_fraction, base_yield
+            ));
+        }
+        lines.push(format!(
+            "{}/n={} p999: {} ns (baseline {} ns), yield: {:.4} (baseline {:.4})",
+            r.variant, r.n, r.p999_ns, base_p999, r.yield_fraction, base_yield
+        ));
+    }
+    Ok(lines)
+}
+
 /// Renders the rows as the `BENCH_paper.json` document (valid JSON; all
 /// strings are fixed ASCII labels, so no escaping is required).
 #[must_use]
-pub fn to_json(rows: &[ReportRow], opts: &ReportOptions) -> String {
+pub fn to_json(rows: &[ReportRow], serve: &[ServeRow], opts: &ReportOptions) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"generated_by\": \"cargo run --release --example report\",\n");
     out.push_str(&format!("  \"quick_mode\": {},\n", opts.quick));
@@ -532,6 +719,26 @@ pub fn to_json(rows: &[ReportRow], opts: &ReportOptions) -> String {
             None => out.push_str("     \"paper\": null}"),
         }
         out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"serve_rows\": [\n");
+    for (i, r) in serve.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"variant\": \"{}\", \"n\": {}, \"time_s\": {:.4}, \"ops_per_sec\": {:.3}, \
+             \"attempted\": {}, \"completed\": {}, \"timed_out\": {},\n",
+            r.variant, r.n, r.secs, r.ops_per_sec, r.attempted, r.completed, r.timed_out
+        ));
+        out.push_str(&format!(
+            "     \"p50_ns\": {}, \"p99_ns\": {}, \"p999_ns\": {}, \"bytes_per_op\": {}, \
+             \"messages\": {}, \"utilization\": {:.4},\n",
+            r.p50_ns, r.p99_ns, r.p999_ns, r.bytes_per_op, r.messages, r.util
+        ));
+        out.push_str(&format!(
+            "     \"yield\": {:.6}, \"harvest\": {:.6}, \"cas_done\": {}, \
+             \"mirror_mismatches\": {}}}",
+            r.yield_fraction, r.harvest, r.cas_done, r.mirror_mismatches
+        ));
+        out.push_str(if i + 1 < serve.len() { ",\n" } else { "\n" });
     }
     out.push_str("  ]\n}\n");
     out
@@ -719,7 +926,7 @@ mod tests {
                 );
             }
         }
-        let json = to_json(&rows, &opts);
+        let json = to_json(&rows, &[], &opts);
         let doc = carlos_trace::json::parse(&json).expect("report JSON parses");
         let parsed = doc
             .get("rows")
@@ -781,7 +988,7 @@ mod tests {
             max_nodes: 4,
         };
         let baseline_rows = vec![gate_row("TSP", 1000, 50_000), gate_row("Quicksort", 2000, 80_000)];
-        let baseline = to_json(&baseline_rows, &opts);
+        let baseline = to_json(&baseline_rows, &[], &opts);
 
         let lines = traffic_gate(&baseline_rows, &baseline).expect("self-comparison passes");
         assert_eq!(lines.len(), 4, "two metrics per gated app: {lines:?}");
@@ -829,5 +1036,62 @@ mod tests {
         assert!(md.contains("Lock/par"), "parallel rows missing: {md}");
         // The cost table must still come from traced (serial) rows.
         assert!(md.contains("| TSP | Lock |"));
+    }
+
+    /// The quick serve rows run clean — the fault-free parallel row at
+    /// yield 1.0 with a clean server mirror, the chaos row shedding load
+    /// with every drop attributed — the JSON round-trips through
+    /// carlos-trace's parser, and the serve gate passes a run against its
+    /// own output while rejecting synthetic p999 and yield regressions.
+    #[test]
+    fn serve_rows_run_gate_and_render() {
+        let opts = ReportOptions {
+            quick: true,
+            max_nodes: 8,
+        };
+        let serve = run_serve_rows(&opts).expect("serve rows run clean");
+        assert_eq!(serve.len(), 2, "quick mode: KV/par n=8 + KV/chaos n=8");
+        let par = &serve[0];
+        assert_eq!((par.variant, par.n), ("KV/par", 8));
+        assert_eq!(par.timed_out, 0, "fault-free serving must not time out");
+        assert!((par.yield_fraction - 1.0).abs() < f64::EPSILON);
+        assert!(par.completed > 0 && par.ops_per_sec > 0.0 && par.bytes_per_op > 0);
+        let chaos = &serve[1];
+        assert_eq!((chaos.variant, chaos.n), ("KV/chaos", 8));
+        assert!(chaos.yield_fraction < 1.0, "chaos must shed load");
+        assert!(chaos.harvest < 1.0, "the probe window straddles the partition");
+        assert_eq!(
+            chaos.attempted,
+            chaos.completed + chaos.timed_out,
+            "every drop must be attributed"
+        );
+
+        let json = to_json(&[], &serve, &opts);
+        let doc = carlos_trace::json::parse(&json).expect("serve JSON parses");
+        let parsed = doc
+            .get("serve_rows")
+            .and_then(carlos_trace::JsonValue::as_array)
+            .expect("serve_rows array");
+        assert_eq!(parsed.len(), serve.len());
+
+        let lines = serve_gate(&serve, &json).expect("self-comparison passes");
+        assert_eq!(lines.len(), serve.len());
+
+        let mut worse = serve.clone();
+        worse[0].p999_ns *= 2;
+        let err = serve_gate(&worse, &json).unwrap_err();
+        assert!(err.contains("p999"), "{err}");
+        let mut lossy = serve.clone();
+        lossy[1].yield_fraction *= 0.5;
+        let err = serve_gate(&lossy, &json).unwrap_err();
+        assert!(err.contains("yield"), "{err}");
+
+        let md = serve_markdown(&serve);
+        assert!(md.contains("KV/par") && md.contains("KV/chaos"), "{md}");
+
+        assert!(
+            serve_gate(&serve, "{\"serve_rows\": []}").is_err(),
+            "missing baseline serve rows must fail loudly"
+        );
     }
 }

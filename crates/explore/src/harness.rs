@@ -7,6 +7,7 @@ use carlos_apps::sor::{sequential_reference, try_run_sor, SorConfig};
 use carlos_apps::tsp::{try_run_tsp, Cities, TspConfig, TspVariant};
 use carlos_apps::water::{try_run_water, WaterConfig, WaterVariant};
 use carlos_check::{Checker, Violation};
+use carlos_serve::run::{try_run_serve, ServeConfig};
 use carlos_core::CoreConfig;
 use carlos_sim::{SchedulePlan, SimConfig};
 
@@ -52,6 +53,9 @@ pub enum App {
     Tsp,
     /// Water N-body molecular dynamics (lock + barrier mix).
     Water,
+    /// Open-loop KV serving over the sharded store (message-driven
+    /// request/reply + CAS counter chains).
+    Serve,
 }
 
 impl App {
@@ -63,8 +67,24 @@ impl App {
             App::Qsort => "qsort",
             App::Tsp => "tsp",
             App::Water => "water",
+            App::Serve => "serve",
         }
     }
+}
+
+/// The serving workload the explorer drives: a shrunk `test` schedule
+/// (fewer ops, so one execution stays cheap at sweep counts) with
+/// deadlines far beyond the runaway cap. The explorer's hostile schedules
+/// may delay any message up to the jitter bound; generous deadlines keep
+/// exactness a hard oracle — a timed-out op would otherwise relax the
+/// expected CAS counter totals to a liveness question.
+fn serve_explore_cfg(n_nodes: usize) -> ServeConfig {
+    let mut cfg = ServeConfig::test(n_nodes);
+    cfg.ops_per_client = 96;
+    cfg.cas_per_client = 12;
+    cfg.op_timeout = carlos_sim::time::secs(2);
+    cfg.drain = carlos_sim::time::secs(4);
+    cfg
 }
 
 /// Reference answers are computed once, from clean single-reference
@@ -76,6 +96,8 @@ enum Reference {
     Qsort,
     Tsp(u32),
     Water(Vec<[f64; 3]>),
+    /// Expected CAS counter values (exact under fault-free serving).
+    Serve(Vec<u64>),
 }
 
 /// Runs one application under arbitrary `SimConfig`s and classifies each
@@ -117,6 +139,13 @@ impl AppHarness {
                 let r = try_run_water(&WaterConfig::test(1, WaterVariant::Lock))
                     .expect("reference water run");
                 Reference::Water(r.positions)
+            }
+            App::Serve => {
+                let cfg = serve_explore_cfg(n_nodes);
+                let clients = cfg.n_clients() as u64;
+                let per_key = clients * cfg.cas_per_client / cfg.counter_keys;
+                #[allow(clippy::cast_possible_truncation)]
+                Reference::Serve(vec![per_key; cfg.counter_keys as usize])
             }
         };
         // Clean fast_test runs of every app finish in well under a virtual
@@ -263,6 +292,38 @@ impl AppHarness {
                                 .zip(positions)
                                 .all(|(a, b)| (0..3).all(|d| (a[d] - b[d]).abs() < 1e-6));
                         if close {
+                            RunStatus::Ok
+                        } else {
+                            RunStatus::WrongAnswer
+                        }
+                    }
+                }
+            }
+            App::Serve => {
+                let mut cfg = serve_explore_cfg(self.n_nodes);
+                cfg.sim = sim;
+                cfg.core = core;
+                cfg.check = Some(check);
+                cfg.granularity_hints = self.vg;
+                match try_run_serve(&cfg) {
+                    Err(e) => RunStatus::Crashed(e.to_string()),
+                    Ok(r) => {
+                        let Reference::Serve(counters) = &self.reference else {
+                            unreachable!("reference matches app");
+                        };
+                        let t = &r.totals;
+                        // Fault-free serving is exact under any schedule:
+                        // nothing may time out, arrive late, fail the value
+                        // self-tag, or disagree with the server's private
+                        // version mirror, and every CAS intent must land
+                        // exactly once.
+                        let exact = &r.counters == counters
+                            && t.client.timed_out == 0
+                            && t.client.late_replies == 0
+                            && t.client.value_check_failures == 0
+                            && t.mirror_mismatches == 0
+                            && t.client.attempted == t.client.completed;
+                        if exact {
                             RunStatus::Ok
                         } else {
                             RunStatus::WrongAnswer

@@ -4,7 +4,10 @@
 //! per-message-class cost attribution (§5.4's microcosts, end to end).
 //! Appends 8-node TSP and SOR rows run under the conservative parallel
 //! scheduler (`SimConfig::parallel(true)`), which is bit-identical to the
-//! serial runner and extends the scaling tables past the paper's testbed.
+//! serial runner and extends the scaling tables past the paper's testbed,
+//! and the `carlos-serve` serving rows: open-loop Zipfian KV traffic at
+//! 8–32 nodes (tail latency, ops/s, bytes/op) plus a chaos row reporting
+//! harvest and yield under burst loss and a partition.
 //!
 //! Run with `cargo run --release --example report`. Environment:
 //!
@@ -12,12 +15,14 @@
 //! - `CARLOS_REPORT_OUT=path` — JSON destination (default
 //!   `BENCH_paper.json` in the current directory).
 
-//! - `CARLOS_REPORT_BASELINE=path` — wire-traffic regression gate: compare
-//!   the fresh TSP/Quicksort Lock n=4 rows against the committed baseline
-//!   report JSON and exit nonzero if messages or SYSTEM bytes grew >5%.
+//! - `CARLOS_REPORT_BASELINE=path` — regression gates: compare the fresh
+//!   TSP/Quicksort Lock n=4 rows (messages, SYSTEM bytes) and the serve
+//!   rows (p999 latency, yield) against the committed baseline report
+//!   JSON and exit nonzero if any grew/shrank >5%.
 
 use carlos::bench::report::{
-    run_parallel_rows, run_report, to_json, to_markdown, traffic_gate, ReportOptions,
+    run_parallel_rows, run_report, run_serve_rows, serve_gate, serve_markdown, to_json,
+    to_markdown, traffic_gate, ReportOptions,
 };
 
 fn main() {
@@ -36,9 +41,14 @@ fn main() {
         eprintln!("parallel report failed: {e}");
         std::process::exit(1);
     }));
+    eprintln!("running serve rows (KV/par + KV/chaos)...");
+    let serve = run_serve_rows(&opts).unwrap_or_else(|e| {
+        eprintln!("serve report failed: {e}");
+        std::process::exit(1);
+    });
     let path =
         std::env::var("CARLOS_REPORT_OUT").unwrap_or_else(|_| "BENCH_paper.json".to_string());
-    match std::fs::write(&path, to_json(&rows, &opts)) {
+    match std::fs::write(&path, to_json(&rows, &serve, &opts)) {
         Ok(()) => eprintln!("wrote {path}"),
         Err(e) => {
             eprintln!("cannot write {path}: {e}");
@@ -61,6 +71,18 @@ fn main() {
                 std::process::exit(1);
             }
         }
+        match serve_gate(&serve, &baseline) {
+            Ok(lines) => {
+                for line in lines {
+                    eprintln!("serve gate: {line}");
+                }
+            }
+            Err(e) => {
+                eprintln!("serve gate FAILED: {e}");
+                std::process::exit(1);
+            }
+        }
     }
     println!("{}", to_markdown(&rows));
+    println!("{}", serve_markdown(&serve));
 }

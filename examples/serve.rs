@@ -1,0 +1,107 @@
+//! Serving demo: an open-loop Zipfian KV workload over the DSM-backed
+//! sharded store, printing a human summary plus one machine-readable JSON
+//! line (tail latency, ops/s, bytes/op, harvest/yield).
+//!
+//! Run with `cargo run --release --example serve`. Environment:
+//!
+//! - `CARLOS_SERVE_NODES=n` — cluster size (default 8; half servers,
+//!   half clients);
+//! - `CARLOS_SERVE_THETA=t` — Zipf skew, 0 ≤ t < 1 (default 0.99; 0 is
+//!   uniform, higher is hotter);
+//! - `CARLOS_SERVE_OPS=k` — operations per client (default 4096);
+//! - `CARLOS_SERVE_CHAOS=1` — run the chaos schedule instead (burst loss
+//!   plus a partition-then-heal window over the ARQ transport), reporting
+//!   degraded harvest and yield.
+//!
+//! A run that cannot complete (deadlock, crash, runaway) exits nonzero
+//! with the structured [`SimError`](carlos::sim::SimError) on stderr.
+
+use carlos::serve::{try_run_serve, ServeConfig};
+
+fn env_u64(key: &str, default: u64) -> u64 {
+    std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn env_f64(key: &str, default: f64) -> f64 {
+    std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+#[allow(clippy::cast_possible_truncation)]
+fn main() {
+    let n_nodes = env_u64("CARLOS_SERVE_NODES", 8) as usize;
+    let theta = env_f64("CARLOS_SERVE_THETA", 0.99);
+    let ops = env_u64("CARLOS_SERVE_OPS", 4096);
+    let chaos = std::env::var("CARLOS_SERVE_CHAOS").is_ok_and(|v| v == "1");
+    assert!(n_nodes >= 2, "need at least one server and one client");
+    assert!((0.0..1.0).contains(&theta), "theta must be in [0, 1)");
+
+    let mut cfg = if chaos {
+        ServeConfig::chaos(n_nodes)
+    } else {
+        let mut c = ServeConfig::paper(n_nodes);
+        c.ops_per_client = ops;
+        c.cas_per_client = (ops / 64).max(2);
+        c
+    };
+    cfg.theta = theta;
+
+    eprintln!(
+        "serving on {n_nodes} nodes ({} servers, {} clients), zipf theta {theta}, \
+         {} ops/client{}...",
+        cfg.n_servers(),
+        cfg.n_clients(),
+        cfg.ops_per_client,
+        if chaos { ", chaos schedule" } else { "" }
+    );
+
+    let r = match try_run_serve(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("serve run failed: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let t = &r.totals;
+    println!(
+        "completed {}/{} ops in {:.2} virtual s ({:.1} ops/s), {} timed out, {} late",
+        t.client.completed,
+        t.client.attempted,
+        r.app.secs,
+        r.ops_per_sec(),
+        t.client.timed_out,
+        t.client.late_replies
+    );
+    println!(
+        "latency p50 {:.3} ms, p99 {:.3} ms, p999 {:.3} ms; {} wire bytes/op",
+        t.client.hist.quantile(0.50) as f64 / 1e6,
+        t.client.hist.quantile(0.99) as f64 / 1e6,
+        t.client.hist.quantile(0.999) as f64 / 1e6,
+        r.bytes_per_op()
+    );
+    println!(
+        "yield {:.4}, harvest {:.4}; CAS {} landed / {} abandoned; counters {:?}",
+        t.yield_fraction(),
+        t.harvest(),
+        t.cas_done,
+        t.cas_abandoned,
+        r.counters
+    );
+    // One machine-readable line (the same fields the report JSON carries).
+    println!(
+        "{{\"nodes\": {n_nodes}, \"theta\": {theta}, \"chaos\": {chaos}, \
+         \"attempted\": {}, \"completed\": {}, \"timed_out\": {}, \
+         \"ops_per_sec\": {:.3}, \"p50_ns\": {}, \"p99_ns\": {}, \"p999_ns\": {}, \
+         \"bytes_per_op\": {}, \"yield\": {:.6}, \"harvest\": {:.6}}}",
+        t.client.attempted,
+        t.client.completed,
+        t.client.timed_out,
+        r.ops_per_sec(),
+        t.client.hist.quantile(0.50),
+        t.client.hist.quantile(0.99),
+        t.client.hist.quantile(0.999),
+        r.bytes_per_op(),
+        t.yield_fraction(),
+        t.harvest()
+    );
+}

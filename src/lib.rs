@@ -30,7 +30,11 @@
 //! - a guided **schedule explorer**: DPOR-style racing-delivery search
 //!   driven by targeted per-message delivery perturbations, with
 //!   happens-before schedule dedupe and delta-debugging counterexample
-//!   shrinking ([`explore`]).
+//!   shrinking ([`explore`]);
+//! - a DSM-backed **key-value / session-cache service**: sharded
+//!   single-writer store with granularity hints, an async submit/poll
+//!   request API, a deterministic open-loop Zipfian traffic generator,
+//!   and tail-latency / harvest-yield reporting under chaos ([`serve`]).
 //!
 //! # Quick start
 //!
@@ -71,6 +75,7 @@ pub use carlos_check as check;
 pub use carlos_core as core;
 pub use carlos_explore as explore;
 pub use carlos_lrc as lrc;
+pub use carlos_serve as serve;
 pub use carlos_sim as sim;
 pub use carlos_sync as sync;
 pub use carlos_trace as trace;

@@ -214,3 +214,107 @@ fn same_seed_and_plan_reproduce_the_same_simulation() {
     assert_eq!(a.best_len, b.best_len);
     assert_eq!(a.expansions, b.expansions);
 }
+
+/// Chaos serving: under burst loss plus a partition-then-heal window the
+/// open-loop KV service *sheds load instead of corrupting it*. Yield drops
+/// below 1.0 with every drop attributed — `attempted == completed +
+/// timed_out`, latency observations match completions, replies that beat
+/// the ARQ but missed their deadline are counted as late rather than
+/// silently discarded — while everything that did complete stays correct
+/// (value self-tags intact, server mirror agreeing with the DSM). And the
+/// whole degraded run is reproducible byte for byte from its seed.
+#[test]
+fn serve_chaos_is_attributed_and_reproducible() {
+    use carlos::serve::{run_serve, ServeConfig, ServeResult};
+
+    fn serve_fingerprint(r: &ServeResult) -> String {
+        let t = &r.totals;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "attempted={} completed={} timed_out={} late={} statuses={:?}",
+            t.client.attempted,
+            t.client.completed,
+            t.client.timed_out,
+            t.client.late_replies,
+            t.client.status_counts,
+        );
+        let _ = writeln!(
+            s,
+            "probes={}/{} cas={}/{}/{} served={} mirror={}/{}",
+            t.client.probes_answered,
+            t.client.probes_attempted,
+            t.cas_done,
+            t.cas_abandoned,
+            t.cas_intents,
+            t.ops_served,
+            t.mirror_mismatches,
+            t.mirror_keys,
+        );
+        let _ = writeln!(
+            s,
+            "hist count={} sum={} p50={} p99={} p999={} counters={:?}",
+            t.client.hist.count(),
+            t.client.hist.sum(),
+            t.client.hist.quantile(0.50),
+            t.client.hist.quantile(0.99),
+            t.client.hist.quantile(0.999),
+            r.counters,
+        );
+        s
+    }
+
+    let a = run_serve(&ServeConfig::chaos(4));
+    let t = &a.totals;
+    // The fault plan must actually bite.
+    assert!(a.app.report.net.dropped_burst > 0, "burst window never fired");
+    assert!(
+        a.app.report.net.dropped_partition > 0,
+        "partition window never fired"
+    );
+    // Load was shed, and every shed op is attributed.
+    assert!(t.yield_fraction() < 1.0, "chaos must cost yield");
+    assert!(t.client.timed_out > 0);
+    assert_eq!(
+        t.client.attempted,
+        t.client.completed + t.client.timed_out,
+        "ops must complete or time out — nothing vanishes"
+    );
+    assert_eq!(
+        t.client.hist.count(),
+        t.client.completed,
+        "one latency observation per completion"
+    );
+    assert!(
+        t.client.late_replies > 0,
+        "ARQ retransmits past the deadline must surface as late replies"
+    );
+    // Harvest was probed during the partition and is degraded.
+    assert!(t.client.probes_attempted > 0);
+    assert!(t.harvest() < 1.0, "the probe window straddles the partition");
+    // What did complete is correct.
+    assert_eq!(t.client.value_check_failures, 0);
+    assert_eq!(t.mirror_mismatches, 0);
+    // CAS intents either landed or were abandoned at-most-once. An
+    // abandoned intent whose request reached the server before the client
+    // gave up still lands (only the reply was lost), so the counter totals
+    // are bounded by — not equal to — the client-confirmed count; they can
+    // never exceed intents issued, because nothing is ever retried blind.
+    assert_eq!(t.cas_intents, t.cas_done + t.cas_abandoned);
+    let landed: u64 = a.counters.iter().sum();
+    assert!(
+        landed >= t.cas_done && landed <= t.cas_intents,
+        "counters sum {landed} outside [{}, {}]",
+        t.cas_done,
+        t.cas_intents
+    );
+
+    // Same seed, same fault plan: byte-identical simulation and accounting.
+    let b = run_serve(&ServeConfig::chaos(4));
+    assert_eq!(
+        fingerprint(&a.app.report),
+        fingerprint(&b.app.report),
+        "chaos serving must be scripted, not random"
+    );
+    assert_eq!(serve_fingerprint(&a), serve_fingerprint(&b));
+}

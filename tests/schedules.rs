@@ -158,6 +158,40 @@ fn vg_apps_are_clean_and_exact_across_schedules() {
     }
 }
 
+/// The serving workload joins the oracle sweep through the explorer's
+/// harness: under every jittered schedule the run must stay exact — each
+/// CAS counter increment lands exactly once (the harness compares the
+/// final counters against `clients × cas_per_client / counter_keys`),
+/// nothing times out, arrives late, or fails the value self-tag, and the
+/// server's private version mirror agrees with the DSM — while the
+/// consistency oracle stays clean. The mixed-granularity variant changes
+/// the wire encodings (serve mixes eager fine granules for hot shard
+/// metadata with demand granules for values), so it gets a paired sweep.
+#[test]
+fn serve_is_clean_and_exact_across_schedules() {
+    use carlos::explore::{App, AppHarness, RunStatus};
+    for seed in SEEDS {
+        let h = AppHarness::new(App::Serve, 4);
+        let obs = h.run_with_sim(h.sim.clone().with_jitter(us(50), seed));
+        assert_eq!(obs.status, RunStatus::Ok, "seed {seed}: serve inexact");
+        assert!(
+            obs.violations.is_empty(),
+            "seed {seed}: oracle violations {:?}",
+            obs.violations
+        );
+    }
+    for seed in [SEEDS[0], SEEDS[2]] {
+        let h = AppHarness::new(App::Serve, 4).vg();
+        let obs = h.run_with_sim(h.sim.clone().with_jitter(us(50), seed));
+        assert_eq!(obs.status, RunStatus::Ok, "seed {seed}: serve+vg inexact");
+        assert!(
+            obs.violations.is_empty(),
+            "seed {seed}: oracle violations {:?}",
+            obs.violations
+        );
+    }
+}
+
 /// Zero jitter must draw nothing from the jitter RNG: the checked run's
 /// virtual-time outcome is identical to an unchecked, unjittered run.
 #[test]
