@@ -63,8 +63,11 @@ grep -q 'KV/chaos' target/report_quick.md
 
 echo "==> parallel profile (conservative multi-baton scheduler)"
 # Bit-identical equivalence: pinned goldens, app seed sweeps, rerun
-# stability, and the observer-forces-serial fallback.
+# stability, and the observer-forces-serial fallback — plus the op-log
+# backpressure stress test (op_log_cap=8 forces every lane through the
+# bounded-channel stall/wake path; fingerprints must not move).
 cargo test -q --test parallel_golden
+cargo test -q --test parallel_golden op_log_backpressure_stress_matches_goldens
 # Quick parallel report: the 8-node TSP/SOR rows must run clean.
 CARLOS_REPORT_QUICK=1 CARLOS_REPORT_OUT=target/BENCH_paper_parallel.json \
     cargo run --release -q --example report > target/report_parallel.md
@@ -73,23 +76,33 @@ grep -q 'Lock/par' target/report_parallel.md
 echo "==> wallclock bench (quick mode) -> BENCH_hotpath.json"
 CARLOS_BENCH_QUICK=1 cargo bench -p carlos-bench --bench wallclock
 
-# Parallel-scheduler speedup gate. The measured serial/parallel ratio is
-# always recorded in BENCH_hotpath.json (and echoed here) so every CI run
-# leaves a traceable number; the >= 1.0 floor is only *enforced* on hosts
-# with >= 4 real cores — op-log machinery without parallelism is pure
-# overhead, so single-core containers would fail spuriously.
+# Parallel-scheduler speedup gate. Every measured serial/parallel ratio
+# is always recorded in BENCH_hotpath.json (and echoed here, with the
+# host core count) so every CI run leaves a traceable number; the floors
+# are only *enforced* on hosts with >= 4 real cores — op-log machinery
+# without parallelism is pure overhead, so single-core containers would
+# fail spuriously. With real cores the parallel scheduler must not lose
+# to serial at 4 nodes (>= 1.0x) and must show genuine scaling at 8
+# nodes (>= 1.8x), where more lanes expose more concurrency.
 cores=$(nproc)
-speedup=$(grep -o '"parallel_speedup_tsp_4node": [0-9.]*' BENCH_hotpath.json \
-    | awk '{print $2}')
-if [ -z "$speedup" ]; then
+ratio() {
+    grep -o "\"$1\": [0-9.]*" BENCH_hotpath.json | awk '{print $2}'
+}
+tsp4=$(ratio parallel_speedup_tsp_4node)
+tsp8=$(ratio parallel_speedup_tsp_8node)
+if [ -z "$tsp4" ] || [ -z "$tsp8" ]; then
     echo "==> parallel speedup gate: ratio missing from BENCH_hotpath.json" >&2
     exit 1
 fi
+echo "==> parallel speedup measured on ${cores} core(s):" \
+    "tsp_4node=${tsp4}x tsp_8node=${tsp8}x" \
+    "sor_4node=$(ratio parallel_speedup_sor_4node)x" \
+    "sor_8node=$(ratio parallel_speedup_sor_8node)x"
 if [ "$cores" -ge 4 ]; then
-    echo "==> parallel speedup gate: ${speedup}x on ${cores} cores (need >= 1.0)"
-    awk -v s="$speedup" 'BEGIN { exit !(s >= 1.0) }'
+    echo "==> parallel speedup gate: need >= 1.0x at 4 nodes, >= 1.8x at 8 nodes"
+    awk -v a="$tsp4" -v b="$tsp8" 'BEGIN { exit !(a >= 1.0 && b >= 1.8) }'
 else
-    echo "==> parallel speedup recorded: ${speedup}x (gate skipped: ${cores} core(s) < 4)"
+    echo "==> parallel speedup gate skipped: ${cores} core(s) < 4 (ratios recorded above)"
 fi
 
 echo "ci.sh: all green"

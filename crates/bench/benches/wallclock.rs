@@ -22,6 +22,7 @@ use carlos_apps::sor::{run_sor, SorConfig};
 use carlos_apps::tsp::{run_tsp, TspConfig, TspVariant};
 use carlos_core::{Annotation, Consistency, Message};
 use carlos_lrc::{Diff, IntervalRecord, Vc};
+use carlos_sim::{Bucket, Cluster, SimConfig};
 use carlos_util::rng::Xoshiro256;
 use criterion::{black_box, BatchSize, Criterion};
 
@@ -325,7 +326,117 @@ fn bench_e2e(quick: bool) -> Vec<E2eResult> {
         });
     }
 
+    // The same serial/parallel pairs at 8 nodes: more lanes means more
+    // exploitable concurrency (and more op-log traffic per runner pass),
+    // so the 8-node ratio is the multi-core gate's main signal.
+    {
+        let nodes = 8usize;
+        let mut tsp8 = TspConfig::test(nodes, TspVariant::Lock);
+        tsp8.n_cities = 12;
+        let (host, serial_vns) = time_e2e(reps, || {
+            let r = run_tsp(&tsp8);
+            black_box(r.app.report.elapsed)
+        });
+        eprintln!("e2e  tsp_lock_8node_12c: {host:.3} host-s ({} virtual-ms)", serial_vns / 1_000_000);
+        out.push(E2eResult {
+            id: "tsp_lock_8node_12c",
+            host_seconds: host,
+            virtual_ns: serial_vns,
+        });
+        let mut par = tsp8.clone();
+        par.sim = par.sim.parallel(true);
+        let (host, vns) = time_e2e(reps, || {
+            let r = run_tsp(&par);
+            black_box(r.app.report.elapsed)
+        });
+        assert_eq!(serial_vns, vns, "parallel 8-node TSP diverged from serial virtual time");
+        eprintln!("e2e  tsp_lock_8node_12c_parallel: {host:.3} host-s ({} virtual-ms)", vns / 1_000_000);
+        out.push(E2eResult {
+            id: "tsp_lock_8node_12c_parallel",
+            host_seconds: host,
+            virtual_ns: vns,
+        });
+
+        let mut sor8 = SorConfig::test(nodes);
+        sor8.rows = 130;
+        sor8.cols = 64;
+        sor8.iters = 4;
+        let (host, serial_vns) = time_e2e(reps, || {
+            let r = run_sor(&sor8);
+            black_box(r.app.report.elapsed)
+        });
+        eprintln!("e2e  sor_8node_130x64: {host:.3} host-s ({} virtual-ms)", serial_vns / 1_000_000);
+        out.push(E2eResult {
+            id: "sor_8node_130x64",
+            host_seconds: host,
+            virtual_ns: serial_vns,
+        });
+        let mut par = sor8.clone();
+        par.sim = par.sim.parallel(true);
+        let (host, vns) = time_e2e(reps, || {
+            let r = run_sor(&par);
+            black_box(r.app.report.elapsed)
+        });
+        assert_eq!(serial_vns, vns, "parallel 8-node SOR diverged from serial virtual time");
+        eprintln!("e2e  sor_8node_130x64_parallel: {host:.3} host-s ({} virtual-ms)", vns / 1_000_000);
+        out.push(E2eResult {
+            id: "sor_8node_130x64_parallel",
+            host_seconds: host,
+            virtual_ns: vns,
+        });
+    }
+
     out
+}
+
+/// Per-op overhead of the parallel scheduler's op-log machinery, measured
+/// directly: a 2-node `parallel(true)` run in which each proc issues
+/// `n_ops` operations that do nothing but traverse the op-log.
+///
+/// - Fast-path ops (`ctx.charge`): one bounded-channel append per op,
+///   replayed in batches by the runner — no rendezvous.
+/// - Rendezvous ops (`ctx.counter` reads): each op parks the lane until
+///   the runner replays it and publishes the outcome — the full
+///   round-trip the conservative scheduler pays on every non-ff step.
+///
+/// Host seconds divided by total ops amortizes thread startup and kernel
+/// setup across 10⁴–10⁵ ops. Returns `(key, ns_per_op)` pairs for the
+/// JSON `derived` section.
+fn bench_oplog(quick: bool) -> Vec<(&'static str, f64)> {
+    let n_ops: u64 = if quick { 10_000 } else { 50_000 };
+    let reps = if quick { 1 } else { 3 };
+    let time_run = |rendezvous: bool| -> f64 {
+        let mut secs: Vec<f64> = Vec::with_capacity(reps);
+        for _ in 0..reps {
+            let start = Instant::now();
+            let mut cluster = Cluster::new(SimConfig::fast_test().parallel(true), 2);
+            for node in 0..2u32 {
+                cluster.spawn_node(node, move |ctx| {
+                    if rendezvous {
+                        for _ in 0..n_ops {
+                            black_box(ctx.counter("oplog.bench"));
+                        }
+                    } else {
+                        for _ in 0..n_ops {
+                            ctx.charge(Bucket::User, 10);
+                        }
+                    }
+                });
+            }
+            let _ = black_box(cluster.run());
+            secs.push(start.elapsed().as_secs_f64());
+        }
+        secs.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+        secs[secs.len() / 2]
+    };
+    let per_op = |secs: f64| secs * 1e9 / (2.0 * n_ops as f64);
+    let ff = per_op(time_run(false));
+    let rv = per_op(time_run(true));
+    eprintln!("oplog ff op: {ff:.0} ns/op; rendezvous op: {rv:.0} ns/op ({n_ops} ops x 2 lanes)");
+    vec![
+        ("oplog_ns_per_op", ff),
+        ("oplog_ns_per_op_rendezvous", rv),
+    ]
 }
 
 fn median_of(c: &Criterion, group: &str, id: &str) -> Option<f64> {
@@ -335,7 +446,7 @@ fn median_of(c: &Criterion, group: &str, id: &str) -> Option<f64> {
         .map(|r| r.median_ns)
 }
 
-fn write_json(c: &Criterion, e2e: &[E2eResult], quick: bool) {
+fn write_json(c: &Criterion, e2e: &[E2eResult], oplog: &[(&'static str, f64)], quick: bool) {
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str("  \"generated_by\": \"cargo bench -p carlos-bench --bench wallclock\",\n");
@@ -397,12 +508,18 @@ fn write_json(c: &Criterion, e2e: &[E2eResult], quick: bool) {
     for (serial_id, par_id, key) in [
         ("tsp_lock_4node_12c", "tsp_lock_4node_12c_parallel", "parallel_speedup_tsp_4node"),
         ("sor_4node_130x64", "sor_4node_130x64_parallel", "parallel_speedup_sor_4node"),
+        ("tsp_lock_8node_12c", "tsp_lock_8node_12c_parallel", "parallel_speedup_tsp_8node"),
+        ("sor_8node_130x64", "sor_8node_130x64_parallel", "parallel_speedup_sor_8node"),
     ] {
         if let (Some(serial), Some(par)) = (e2e_secs(serial_id), e2e_secs(par_id)) {
             if par > 0.0 {
                 lines.push(format!("    \"{key}\": {:.2}", serial / par));
             }
         }
+    }
+    // Amortized per-op cost of the op-log machinery itself (microbench).
+    for (key, ns) in oplog {
+        lines.push(format!("    \"{key}\": {ns:.0}"));
     }
     lines.push(format!(
         "    \"host_cores\": {}",
@@ -430,6 +547,7 @@ fn main() {
     bench_diff_apply(&mut c);
     bench_codec(&mut c);
     let e2e = bench_e2e(quick);
-    write_json(&c, &e2e, quick);
+    let oplog = bench_oplog(quick);
+    write_json(&c, &e2e, &oplog, quick);
     c.final_summary();
 }

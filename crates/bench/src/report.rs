@@ -521,9 +521,13 @@ pub struct ServeRow {
     pub cas_done: u64,
     /// Server mirror/DSM disagreements (must be 0).
     pub mirror_mismatches: u64,
+    /// Host wall-clock seconds the run took (virtual-time metrics above
+    /// are machine-independent; this one column records what the parallel
+    /// scheduler actually bought on the generating host).
+    pub host_seconds: f64,
 }
 
-fn serve_row(variant: &'static str, n: usize, r: &ServeResult) -> ServeRow {
+fn serve_row(variant: &'static str, n: usize, r: &ServeResult, host_seconds: f64) -> ServeRow {
     let t = &r.totals;
     ServeRow {
         variant,
@@ -543,6 +547,7 @@ fn serve_row(variant: &'static str, n: usize, r: &ServeResult) -> ServeRow {
         harvest: t.harvest(),
         cas_done: t.cas_done,
         mirror_mismatches: t.mirror_mismatches,
+        host_seconds,
     }
 }
 
@@ -568,16 +573,20 @@ pub fn run_serve_rows(opts: &ReportOptions) -> Result<Vec<ServeRow>, SimError> {
             cfg.cas_per_client /= 32;
         }
         cfg.sim = cfg.sim.parallel(true);
+        let started = std::time::Instant::now();
         let r = try_run_serve(&cfg)?;
+        let host = started.elapsed().as_secs_f64();
         assert_eq!(
             r.totals.mirror_mismatches, 0,
             "serve row {n}: store/mirror disagreement"
         );
-        rows.push(serve_row("KV/par", n, &r));
+        rows.push(serve_row("KV/par", n, &r, host));
     }
+    let started = std::time::Instant::now();
     let r = try_run_serve(&ServeConfig::chaos(8))?;
+    let host = started.elapsed().as_secs_f64();
     assert_eq!(r.totals.mirror_mismatches, 0, "chaos row: store/mirror disagreement");
-    rows.push(serve_row("KV/chaos", 8, &r));
+    rows.push(serve_row("KV/chaos", 8, &r, host));
     Ok(rows)
 }
 
@@ -735,8 +744,8 @@ pub fn to_json(rows: &[ReportRow], serve: &[ServeRow], opts: &ReportOptions) -> 
         ));
         out.push_str(&format!(
             "     \"yield\": {:.6}, \"harvest\": {:.6}, \"cas_done\": {}, \
-             \"mirror_mismatches\": {}}}",
-            r.yield_fraction, r.harvest, r.cas_done, r.mirror_mismatches
+             \"mirror_mismatches\": {}, \"host_seconds\": {:.4}}}",
+            r.yield_fraction, r.harvest, r.cas_done, r.mirror_mismatches, r.host_seconds
         ));
         out.push_str(if i + 1 < serve.len() { ",\n" } else { "\n" });
     }

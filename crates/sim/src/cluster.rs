@@ -714,7 +714,7 @@ impl NodeCtx {
 
     /// Reads this node's counter `name`.
     #[must_use]
-    pub fn counter(&self, name: &str) -> u64 {
+    pub fn counter(&self, name: &'static str) -> u64 {
         if let Some(ch) = self.par.get() {
             return parallel::lane_counter_read(&self.shared.par, ch, name);
         }

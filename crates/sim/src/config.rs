@@ -59,6 +59,13 @@ pub struct SimConfig {
     /// serial whenever a [`crate::WireObserver`] (checker, tracer) is
     /// attached, since observers require a single serialized wire view.
     pub parallel: bool,
+    /// Bounded capacity (in ops) of each lane's op-log channel under the
+    /// parallel scheduler. Lanes that run this far ahead of the replay
+    /// runner block until the runner drains the channel, bounding memory
+    /// and lane run-ahead. Capacity never changes results — only how often
+    /// the backpressure stall path is exercised — so tests force it small
+    /// to stress that path. Must be nonzero.
+    pub op_log_cap: usize,
     /// Targeted per-flow delivery perturbations. The empty default plan
     /// perturbs nothing and leaves event timing bit-identical to builds
     /// predating the knob. A non-empty plan adds the named extra delays to
@@ -111,6 +118,7 @@ impl SimConfig {
             jitter_max: 0,
             jitter_seed: 0,
             parallel: false,
+            op_log_cap: 1024,
             schedule: SchedulePlan::new(),
             #[cfg(any(test, feature = "seeded-bugs"))]
             seeded_fifo_pair: None,
@@ -134,6 +142,7 @@ impl SimConfig {
             jitter_max: 0,
             jitter_seed: 0,
             parallel: false,
+            op_log_cap: 1024,
             schedule: SchedulePlan::new(),
             #[cfg(any(test, feature = "seeded-bugs"))]
             seeded_fifo_pair: None,
@@ -146,6 +155,16 @@ impl SimConfig {
     #[must_use]
     pub fn parallel(mut self, on: bool) -> Self {
         self.parallel = on;
+        self
+    }
+
+    /// Returns `self` with the given parallel op-log channel capacity
+    /// (builder style). Results are capacity-independent; tests force a
+    /// tiny capacity to stress the bounded-channel stall path.
+    #[must_use]
+    pub fn with_op_log_cap(mut self, cap: usize) -> Self {
+        assert!(cap > 0, "op_log_cap must be nonzero");
+        self.op_log_cap = cap;
         self
     }
 
@@ -233,6 +252,20 @@ mod tests {
         // Defaults carry the empty plan.
         assert!(SimConfig::osdi94().schedule.is_empty());
         assert!(SimConfig::fast_test().schedule.is_empty());
+    }
+
+    #[test]
+    fn with_op_log_cap_builder() {
+        let c = SimConfig::fast_test().with_op_log_cap(8);
+        assert_eq!(c.op_log_cap, 8);
+        assert_eq!(SimConfig::osdi94().op_log_cap, 1024);
+        assert_eq!(SimConfig::fast_test().op_log_cap, 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn with_op_log_cap_rejects_zero() {
+        let _ = SimConfig::fast_test().with_op_log_cap(0);
     }
 
     #[test]

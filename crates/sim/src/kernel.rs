@@ -16,7 +16,7 @@ use std::{
 
 use parking_lot::Condvar;
 
-use carlos_util::rng::Xoshiro256;
+use carlos_util::rng::{SplitMix64, Xoshiro256};
 
 use crate::{
     cluster::{Datagram, WireObserver},
@@ -129,9 +129,15 @@ pub(crate) struct Kernel {
     /// Virtual time at which the shared Ethernet becomes free.
     pub medium_busy_until: Ns,
     pub loss_rng: Xoshiro256,
-    /// Delivery-jitter stream; only consulted when `config.jitter_max > 0`,
-    /// so jitter-free configs draw nothing and stay bit-identical.
-    pub jitter_rng: Xoshiro256,
+    /// Per-source-node delivery-jitter streams, each deterministically
+    /// reseeded from `(jitter_seed, src)`. Sharding by sender makes a
+    /// pair's jitter sequence a function of that sender's own traffic
+    /// order alone — independent of how transmissions from other nodes
+    /// interleave on the shared wire — which is what lets the parallel
+    /// scheduler treat jitter draws as lane-local state rather than a
+    /// global rendezvous. Only consulted when `config.jitter_max > 0`, so
+    /// jitter-free configs draw nothing and stay bit-identical.
+    pub jitter_rngs: Vec<Xoshiro256>,
     /// Last scheduled delivery time per (src, dst) pair, used to clamp
     /// jittered deliveries so per-pair FIFO order is preserved. Empty (and
     /// never touched) while jitter is disabled.
@@ -156,7 +162,9 @@ pub(crate) struct Kernel {
 impl Kernel {
     pub fn new(config: SimConfig, n_nodes: usize) -> Self {
         let loss_rng = Xoshiro256::new(config.loss_seed);
-        let jitter_rng = Xoshiro256::new(config.jitter_seed);
+        let jitter_rngs = (0..n_nodes)
+            .map(|src| Xoshiro256::new(jitter_shard_seed(config.jitter_seed, src as u64)))
+            .collect();
         let fault = FaultState::new(&config.fault_plan, n_nodes);
         let crashes: Vec<(NodeId, Ns)> = config.fault_plan.crash_times().collect();
         let mut k = Self {
@@ -170,7 +178,7 @@ impl Kernel {
             live_procs: 0,
             medium_busy_until: 0,
             loss_rng,
-            jitter_rng,
+            jitter_rngs,
             pair_last_delivery: BTreeMap::new(),
             fault,
             observer: None,
@@ -245,7 +253,8 @@ impl Kernel {
                     // the pair's previous delivery time preserves per-pair
                     // FIFO (which the transport and `known`-snapshot logic
                     // rely on); cross-pair reordering is the point.
-                    at += self.jitter_rng.next_below(self.config.jitter_max + 1) as Ns;
+                    at += self.jitter_rngs[src as usize].next_below(self.config.jitter_max + 1)
+                        as Ns;
                     let last = self
                         .pair_last_delivery
                         .entry((src, dst))
@@ -303,6 +312,14 @@ impl Kernel {
     }
 }
 
+/// Deterministic per-source seed for a jitter shard: a SplitMix64 hop from
+/// the user seed mixed with the source node id, so shards are decorrelated
+/// even for adjacent seeds/nodes while staying a pure function of
+/// `(seed, src)`.
+fn jitter_shard_seed(seed: u64, src: u64) -> u64 {
+    SplitMix64::new(seed ^ (src + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)).next_u64()
+}
+
 /// Transport sequence number of a DATA frame, parsed from the wire header
 /// (`None` for control frames and anything too short to carry a header).
 fn data_frame_seq(payload: &[u8]) -> Option<u32> {
@@ -334,6 +351,35 @@ mod tests {
         let t1 = k.wire_transmit_frame(0, 1, &frame(1), 0).unwrap();
         assert!(t0 >= crate::time::ms(10));
         assert!(t1 >= t0, "FIFO clamp failed: {t1} < {t0}");
+    }
+
+    #[test]
+    fn jitter_shards_are_interleaving_independent() {
+        // One node's jitter draws must not depend on how often *other*
+        // nodes transmit in between: the draws come from per-source
+        // streams seeded by (jitter_seed, src).
+        let cfg = || SimConfig::fast_test().with_jitter(crate::time::us(200), 42);
+        let draws = |k: &mut Kernel, n: usize| -> Vec<Ns> {
+            (0..n)
+                .map(|_| k.jitter_rngs[0].next_below(1000))
+                .collect()
+        };
+        let mut alone = Kernel::new(cfg(), 3);
+        let expect = draws(&mut alone, 4);
+        let mut busy = Kernel::new(cfg(), 3);
+        let mut got = Vec::new();
+        for _ in 0..4 {
+            // Interleave traffic from src 1 and 2; src 0's stream is its own.
+            let _ = busy.wire_transmit(1, 2, 64, 0);
+            let _ = busy.wire_transmit(2, 1, 64, 0);
+            got.push(busy.jitter_rngs[0].next_below(1000));
+        }
+        assert_eq!(got, expect);
+        // Different sources draw from decorrelated streams.
+        let mut k = Kernel::new(cfg(), 3);
+        let a: Vec<u64> = (0..4).map(|_| k.jitter_rngs[1].next_below(1000)).collect();
+        let b: Vec<u64> = (0..4).map(|_| k.jitter_rngs[2].next_below(1000)).collect();
+        assert_ne!(a, b);
     }
 
     #[test]

@@ -21,7 +21,7 @@
 //! construction: there is exactly one kernel mutator, and it performs the
 //! serial algorithm.
 //!
-//! # Lookahead
+//! # Lookahead: per-pair channel clocks
 //!
 //! A proc may run ahead of the replay only while its interactions are
 //! provably unaffected. The wire model guarantees that any datagram handed
@@ -29,32 +29,81 @@
 //! `σ + frame_time(0) + wire_latency` (frame time is monotone in payload
 //! size, jitter only adds delay, and the FIFO clamp only raises delivery
 //! times), and handing it to the wire itself costs `send_overhead` first.
-//! So with `D = frame_time(0) + wire_latency`, a node `n` can receive no
-//! delivery before
+//! So with `I = send_overhead + frame_time(0) + wire_latency` (the
+//! *influence delay*), a node `n` can receive no delivery before
 //!
 //! ```text
 //! quiet(n) = min( earliest queued delivery for n,
-//!                 min over live procs p on other nodes of
-//!                     floor(p) + send_overhead + D )
+//!                 this lane's earliest pending loopback delivery,
+//!                 min over chans c on other nodes of
+//!                     min(clock(c), send_min(c → n)) + I )
 //! ```
 //!
-//! where `floor(p)` is the virtual time of `p`'s oldest unreplayed
-//! operation (or its lane clock when its log is drained). Stale-low reads
-//! of `floor` are conservative, so the bound is safe to evaluate without
-//! the kernel lock.
+//! `clock(c)` is `c`'s lane clock — pinned at the issuing time of `c`'s
+//! oldest *rendezvous* op until the replay publishes its outcome, so every
+//! wire effect of ops `c` has not finished issuing is covered. Logged
+//! fire-and-forget sends advance the clock past their issue time, so each
+//! one leaves a per-destination promise: `send_min(c → n)` is the issue
+//! time of `c`'s oldest logged-but-unreplayed fire-and-forget send to `n`
+//! (`u64::MAX` when none), removed only after the replay has handed that
+//! datagram to the wire and published the resulting delivery into `n`'s
+//! queued-delivery bound. Per-pair promises are what let a lane blocked on
+//! traffic to node A keep lanes that only talk to B running: `c`'s
+//! unreplayed sends to A never lower `quiet(B)`.
+//!
+//! One refinement keeps pinned clocks from strangling the bound: when the
+//! replay parks a proc *inside* a rendezvous op that has no pending wire
+//! effect (`wait_recv`, `wait_mailbox`, recv overhead, sync advance,
+//! interruptible compute), that lane is blocked until its outcome is
+//! published at replay time `k.now` — so its next send cannot be issued
+//! before `k.now` either. The runner flags such chans (`rv_parked`) and
+//! publishes a monotone `replay_now`; quiet readers lift a flagged chan's
+//! clock to the floor. Parked *sends* are never flagged: their datagram
+//! reaches the wire priced off the old pinned clock, which is the only
+//! term covering it. This floor is what makes the post-wait `try_recv`
+//! poll storm in message-pump loops resolve locally — right after a
+//! genuine wait, the poller's clock sits within one influence delay of
+//! `replay_now`, and every other lane is either running (clock advanced)
+//! or blocked (clock lifted).
+//!
+//! Stale reads are safe by ordering, not luck: a reader samples `clock`
+//! before `send_min` for each chan (a fire-and-forget send lowers
+//! `send_min` *before* raising `clock`, both releases, so seeing the new
+//! clock implies seeing the promise), reads the queued-delivery bound
+//! *last* (the replay lowers it before raising `send_min` or the loopback
+//! head, so seeing a promise retired implies seeing its delivery queued),
+//! and consults the mailbox mirror after all of the above (the bound is
+//! only re-raised after the delivered datagram reached the mirror).
+//! Every handoff between covering terms is therefore visible in the order
+//! the reader needs.
 //!
 //! Each single-proc node also keeps a *mirror* of its mailbox, appended by
 //! the replay at the authoritative delivery instant. Because the replay
 //! can never advance past a lane's own unreplayed operations, every mirror
 //! entry is at or before the lane's clock — which makes a non-empty mirror
 //! a provable `recv` hit and an empty mirror plus a high `quiet` bound a
-//! provable miss. Everything else rendezvouses with the replay (the proc
-//! blocks until the runner publishes the outcome), which degrades to the
-//! serial schedule but never to a wrong one.
+//! provable miss. Loopback sends on single-proc lanes are fire-and-forget
+//! too: the lane tracks its own pending loopback delivery times (the
+//! `loop_head` term above) and the replay delivers into the mirror exactly
+//! like a remote datagram, so a self-send followed by `wait_recv` runs
+//! without a rendezvous. Everything else rendezvouses with the replay (the
+//! proc blocks until the runner publishes the outcome), which degrades to
+//! the serial schedule but never to a wrong one.
 //!
 //! Nodes that spawn extra user threads share `cpu_free` between procs, so
 //! their lanes lose the "advance ends at `clock + dt`" invariant; such
 //! lanes disable the mirror and run every operation as a rendezvous.
+//!
+//! # Batched replay
+//!
+//! The runner drains a lane's whole op channel into a private buffer in
+//! one lock acquisition (and at most one wakeup in each direction), then
+//! replays ops lock-free from the buffer; per-op locking only remains on
+//! the rendezvous path. Promises (`send_min`, loopback heads) are retired
+//! at wire-handoff time, not drain time, so a drained-but-unreplayed send
+//! stays covered. Condvar signals are skipped entirely unless the other
+//! side is actually parked (tracked by flags under the channel lock),
+//! which removes two futex syscalls from the per-op fast path.
 
 use std::{
     any::Any,
@@ -66,7 +115,7 @@ use std::{
 };
 
 use bytes::Bytes;
-use parking_lot::{Condvar, Mutex};
+use parking_lot::{Condvar, Mutex, RwLock};
 
 use crate::{
     cluster::{
@@ -79,12 +128,6 @@ use crate::{
     stats::Bucket,
     time::{NodeId, Ns},
 };
-
-/// Backpressure bound on a proc's op log: a lane that runs this many
-/// operations ahead of the replay blocks until the replay drains some.
-/// Bounds memory and keeps a runaway lane from racing arbitrarily far past
-/// a scripted crash of its node.
-const OP_LOG_CAP: usize = 1024;
 
 /// One logged operation plus the lane clock at which it was issued. The
 /// replay consumes the op when kernel time reaches exactly `pre_clock`
@@ -112,9 +155,10 @@ enum Op {
     Count { name: &'static str, v: u64 },
     /// `counter(name)` read — rendezvous (another proc of the node may
     /// still have pending bumps only the replay serializes).
-    CounterRead { name: String },
-    /// `send_datagram`: send overhead then the wire. Loopback and
-    /// multi-proc lanes set `sync`.
+    CounterRead { name: &'static str },
+    /// `send_datagram`: send overhead then the wire. Multi-proc lanes set
+    /// `sync`; single-proc lanes fire-and-forget everything, including
+    /// loopback (covered by the lane's own pending-loopback head).
     Send {
         dst: NodeId,
         payload: Bytes,
@@ -178,6 +222,21 @@ impl Outcome {
 struct ChanQ {
     ops: VecDeque<OpMsg>,
     outcome: Option<Outcome>,
+    /// Issue times (`pre_clock`) of logged-but-unretired fire-and-forget
+    /// sends, per destination node; fronts are mirrored into
+    /// `ProcChan::send_min`. Entries retire at wire-handoff time, not
+    /// drain time, so a drained-but-unreplayed send stays covered.
+    send_minq: Vec<VecDeque<Ns>>,
+    /// Delivery times (`pre_clock + send_overhead`) of pending
+    /// fire-and-forget loopback sends; front mirrored into
+    /// `ProcChan::loop_head`.
+    loop_pending: VecDeque<Ns>,
+    /// Runner is parked on `ops_cv` waiting for ops; a pushing lane only
+    /// pays the wakeup syscall when set.
+    runner_waiting: bool,
+    /// The lane thread is parked on `out_cv` (for log space or a
+    /// rendezvous outcome); the runner only signals when set.
+    lane_waiting: bool,
 }
 
 /// Per-proc channel between a lane thread and the replay.
@@ -188,28 +247,55 @@ pub(crate) struct ProcChan {
     ops_cv: Condvar,
     /// Signaled when an outcome is published or log space frees up.
     out_cv: Condvar,
-    /// Virtual time of the oldest unreplayed op, or the lane clock when the
-    /// log is drained. Only raised *after* an op's kernel effects fully
-    /// apply, so `quiet` computed from stale reads is conservative.
-    floor: AtomicU64,
     /// The lane's current virtual clock (reads back as `NodeCtx::now`).
+    /// Pinned at the issue time of the oldest pending rendezvous op until
+    /// the replay publishes its outcome, so it conservatively covers every
+    /// wire effect the lane has not finished issuing; `u64::MAX` once the
+    /// proc is finished or crashed. Fire-and-forget sends advance it past
+    /// their issue time and leave a `send_min`/`loop_head` promise behind
+    /// instead.
     pub(crate) clock: AtomicU64,
+    /// Per-destination promise: issue time of the oldest unretired
+    /// fire-and-forget send to that node (`u64::MAX` when none). Lowered
+    /// *before* `clock` is raised on push; raised only after the replay
+    /// queued the resulting delivery into the destination's
+    /// `queued_head` bound.
+    send_min: Vec<AtomicU64>,
+    /// Earliest pending fire-and-forget loopback delivery time
+    /// (`u64::MAX` when none); same retire protocol as `send_min`, read
+    /// only by this lane's own quiet bound.
+    loop_head: AtomicU64,
+    /// Set by the replay when it parks this proc *inside a rendezvous op
+    /// that has no pending wire effect* (`wait_recv`, `wait_mailbox`,
+    /// recv-overhead, sync advance, interruptible compute). While set, the
+    /// lane is blocked on the outcome and all its promises are retired, so
+    /// its next send cannot be issued before the replay's current time:
+    /// quiet readers may lift this chan's clock to `ParCtrl::replay_now`.
+    /// Cleared (before the outcome) by every publish. Never set for parked
+    /// sends — their datagram reaches the wire at the *old* pinned clock.
+    rv_parked: AtomicBool,
     /// Set when the proc's node fail-stops; lane unwinds at the next call.
     dead: AtomicBool,
 }
 
 impl ProcChan {
-    fn new(node: NodeId) -> Self {
+    fn new(node: NodeId, n_nodes: usize) -> Self {
         Self {
             node,
             q: Mutex::new(ChanQ {
                 ops: VecDeque::new(),
                 outcome: None,
+                send_minq: (0..n_nodes).map(|_| VecDeque::new()).collect(),
+                loop_pending: VecDeque::new(),
+                runner_waiting: false,
+                lane_waiting: false,
             }),
             ops_cv: Condvar::new(),
             out_cv: Condvar::new(),
-            floor: AtomicU64::new(0),
             clock: AtomicU64::new(0),
+            send_min: (0..n_nodes).map(|_| AtomicU64::new(u64::MAX)).collect(),
+            loop_head: AtomicU64::new(u64::MAX),
+            rv_parked: AtomicBool::new(false),
             dead: AtomicBool::new(false),
         }
     }
@@ -254,26 +340,39 @@ pub(crate) struct ParCtrl {
     /// `None` until the runner decides serial vs. parallel at run start.
     mode: Mutex<Option<bool>>,
     mode_cv: Condvar,
-    chans: Mutex<Vec<Arc<ProcChan>>>,
+    chans: RwLock<Vec<Arc<ProcChan>>>,
     lanes: Vec<LaneShared>,
     poisoned: AtomicBool,
     send_overhead: Ns,
     recv_overhead: Ns,
     /// Minimum wire-to-delivery delay: `frame_time(0) + wire_latency`.
     lookahead: Ns,
+    /// Backpressure bound on each proc's op log (see
+    /// [`SimConfig::op_log_cap`]).
+    op_log_cap: usize,
+    /// Monotone snapshot of the replay's `k.now`, stored by the runner at
+    /// each event pop and each consumed op. Always `<= k.now`. Quiet
+    /// readers load it *first* (see [`quiet_bound`]) and use it as a floor
+    /// for `rv_parked` chans: a rendezvous-blocked lane's next effect is
+    /// published at `k.now` or later, so the stale pinned clock it parked
+    /// with can be lifted to this value.
+    replay_now: AtomicU64,
 }
 
 impl ParCtrl {
     pub(crate) fn new(config: &SimConfig, n_nodes: usize) -> Self {
+        assert!(config.op_log_cap > 0, "op_log_cap must be nonzero");
         Self {
             mode: Mutex::new(None),
             mode_cv: Condvar::new(),
-            chans: Mutex::new(Vec::new()),
+            chans: RwLock::new(Vec::new()),
             lanes: (0..n_nodes).map(|_| LaneShared::new()).collect(),
             poisoned: AtomicBool::new(false),
             send_overhead: config.send_overhead,
             recv_overhead: config.recv_overhead,
             lookahead: config.frame_time(0) + config.wire_latency,
+            op_log_cap: config.op_log_cap,
+            replay_now: AtomicU64::new(0),
         }
     }
 
@@ -283,12 +382,13 @@ impl ParCtrl {
     /// channels.
     pub(crate) fn publish_mode(&self, parallel: bool, k: &mut Kernel) {
         if parallel {
-            let mut chans = self.chans.lock();
+            let n_nodes = k.nodes.len();
+            let mut chans = self.chans.write();
             debug_assert!(chans.is_empty(), "mode published twice");
             for p in k.procs.iter_mut() {
                 p.parked = true;
                 p.park_seq = 1;
-                chans.push(Arc::new(ProcChan::new(p.node)));
+                chans.push(Arc::new(ProcChan::new(p.node, n_nodes)));
             }
         }
         *self.mode.lock() = Some(parallel);
@@ -311,7 +411,7 @@ impl ParCtrl {
     }
 
     pub(crate) fn chan(&self, pid: ProcId) -> Arc<ProcChan> {
-        Arc::clone(&self.chans.lock()[pid])
+        Arc::clone(&self.chans.read()[pid])
     }
 
     /// Tears down: every lane blocked on the mode gate, log space, or an
@@ -323,7 +423,7 @@ impl ParCtrl {
             let _gate = self.mode.lock();
         }
         self.mode_cv.notify_all();
-        for ch in self.chans.lock().iter() {
+        for ch in self.chans.read().iter() {
             let _q = ch.q.lock();
             ch.ops_cv.notify_all();
             ch.out_cv.notify_all();
@@ -343,10 +443,21 @@ fn wait_space(ctrl: &ParCtrl, ch: &ProcChan, q: &mut parking_lot::MutexGuard<'_,
         if ch.dead.load(Ordering::Acquire) {
             std::panic::panic_any(CrashUnwind);
         }
-        if q.ops.len() < OP_LOG_CAP {
+        if q.ops.len() < ctrl.op_log_cap {
             return;
         }
+        q.lane_waiting = true;
         ch.out_cv.wait(q);
+        q.lane_waiting = false;
+    }
+}
+
+/// Wakes the runner iff it is parked waiting for ops; pushing is
+/// otherwise signal-free.
+fn notify_runner(ch: &ProcChan, q: &mut parking_lot::MutexGuard<'_, ChanQ>) {
+    if q.runner_waiting {
+        q.runner_waiting = false;
+        ch.ops_cv.notify_one();
     }
 }
 
@@ -358,22 +469,20 @@ fn push_ff(ctrl: &ParCtrl, ch: &ProcChan, op: Op, new_clock: Ns) {
     let pre = ch.clock.load(Ordering::Relaxed);
     debug_assert!(new_clock >= pre, "lane clock would go backwards");
     q.ops.push_back(OpMsg { pre_clock: pre, op });
-    let front = q.ops.front().map_or(pre, |m| m.pre_clock);
-    ch.floor.store(front, Ordering::Release);
     ch.clock.store(new_clock, Ordering::Release);
-    ch.ops_cv.notify_one();
+    notify_runner(ch, &mut q);
 }
 
 /// Appends a rendezvous op and blocks until the replay publishes its
-/// outcome (which also advances the lane clock).
+/// outcome (which also advances the lane clock). The clock stays pinned
+/// at the op's issue time meanwhile, keeping the quiet bound conservative
+/// for any wire effect the op has yet to produce.
 fn push_sync(ctrl: &ParCtrl, ch: &ProcChan, op: Op) -> Outcome {
     let mut q = ch.q.lock();
     wait_space(ctrl, ch, &mut q);
     let pre = ch.clock.load(Ordering::Relaxed);
     q.ops.push_back(OpMsg { pre_clock: pre, op });
-    let front = q.ops.front().map_or(pre, |m| m.pre_clock);
-    ch.floor.store(front, Ordering::Release);
-    ch.ops_cv.notify_one();
+    notify_runner(ch, &mut q);
     loop {
         if let Some(o) = q.outcome.take() {
             return o;
@@ -384,24 +493,43 @@ fn push_sync(ctrl: &ParCtrl, ch: &ProcChan, op: Op) -> Outcome {
         if ch.dead.load(Ordering::Acquire) {
             std::panic::panic_any(CrashUnwind);
         }
+        q.lane_waiting = true;
         ch.out_cv.wait(&mut q);
+        q.lane_waiting = false;
     }
 }
 
-/// The earliest virtual time at which a delivery can still reach `node`.
-/// Sound against stale reads: floors only rise, and `queued_head` is only
-/// raised after the corresponding mailbox append reached the mirror.
-fn quiet_bound(ctrl: &ParCtrl, node: usize) -> Ns {
-    let mut quiet = ctrl.lanes[node].queued_head.load(Ordering::Acquire);
+/// The earliest virtual time at which a delivery can still reach `node`
+/// (`ch` is the calling lane's own channel). Sound against stale reads by
+/// read order — `replay_now` first (so a stale `rv_parked` flag can only
+/// pair with a floor the runner published *before* clearing it: the
+/// acquire on `replay_now` makes any earlier clear visible), then per chan
+/// `clock` then `send_min` (push lowers the promise before raising the
+/// clock), own loopback head next, and the queued-delivery bound *last*
+/// (the replay lowers it before retiring the promise that covered the
+/// send); see the module docs.
+fn quiet_bound(ctrl: &ParCtrl, ch: &ProcChan, node: usize) -> Ns {
     let influence = ctrl.send_overhead + ctrl.lookahead;
-    for ch in ctrl.chans.lock().iter() {
-        if ch.node as usize == node {
+    let rnow = ctrl.replay_now.load(Ordering::Acquire);
+    let mut quiet = u64::MAX;
+    for c in ctrl.chans.read().iter() {
+        if c.node as usize == node {
             continue;
         }
-        let f = ch.floor.load(Ordering::Acquire);
-        quiet = quiet.min(f.saturating_add(influence));
+        let mut clk = c.clock.load(Ordering::Acquire);
+        let sm = c.send_min[node].load(Ordering::Acquire);
+        if c.rv_parked.load(Ordering::Acquire) {
+            // Rendezvous-blocked lane: its clock is pinned at the issue
+            // time of the blocked op, but its next send can only be issued
+            // after the replay publishes — at `k.now >= rnow` — so the
+            // floor is a sound lift. The promise term stays unlifted
+            // (blocked lanes have all promises retired anyway).
+            clk = clk.max(rnow);
+        }
+        quiet = quiet.min(clk.min(sm).saturating_add(influence));
     }
-    quiet
+    quiet = quiet.min(ch.loop_head.load(Ordering::Acquire));
+    quiet.min(ctrl.lanes[node].queued_head.load(Ordering::Acquire))
 }
 
 fn is_multi(ctrl: &ParCtrl, node: usize) -> bool {
@@ -452,27 +580,42 @@ pub(crate) fn lane_count(ctrl: &ParCtrl, ch: &ProcChan, name: &'static str, v: u
     push_ff(ctrl, ch, Op::Count { name, v }, c);
 }
 
-pub(crate) fn lane_counter_read(ctrl: &ParCtrl, ch: &ProcChan, name: &str) -> u64 {
-    match push_sync(ctrl, ch, Op::CounterRead { name: name.to_string() }) {
+pub(crate) fn lane_counter_read(ctrl: &ParCtrl, ch: &ProcChan, name: &'static str) -> u64 {
+    match push_sync(ctrl, ch, Op::CounterRead { name }) {
         Outcome::Value(v, _) => v,
         _ => unreachable!("CounterRead publishes Value"),
     }
 }
 
 pub(crate) fn lane_send(ctrl: &ParCtrl, ch: &ProcChan, dst: NodeId, payload: Bytes) {
-    if dst == ch.node || is_multi(ctrl, ch.node as usize) {
-        // Loopback immediately affects our own mailbox (and quiet bound);
-        // serialize through the replay.
+    if is_multi(ctrl, ch.node as usize) {
+        // Shared-CPU lane: the overhead advance end time is unpredictable.
         push_sync(ctrl, ch, Op::Send { dst, payload, sync: true });
         return;
     }
-    let c = ch.clock.load(Ordering::Relaxed);
-    push_ff(
-        ctrl,
-        ch,
-        Op::Send { dst, payload, sync: false },
-        c + ctrl.send_overhead,
-    );
+    // Fire-and-forget: leave a promise covering the eventual delivery.
+    // Promise before clock (both releases) — a reader seeing the advanced
+    // clock must also see the promise, or the delivery would be uncovered.
+    let mut q = ch.q.lock();
+    wait_space(ctrl, ch, &mut q);
+    let pre = ch.clock.load(Ordering::Relaxed);
+    q.ops.push_back(OpMsg {
+        pre_clock: pre,
+        op: Op::Send { dst, payload, sync: false },
+    });
+    if dst == ch.node {
+        // Loopback lands in our own mailbox at pre + send_overhead; track
+        // it in the lane-local pending list read by our own quiet bound.
+        q.loop_pending.push_back(pre + ctrl.send_overhead);
+        let head = *q.loop_pending.front().expect("just pushed");
+        ch.loop_head.store(head, Ordering::Release);
+    } else {
+        q.send_minq[dst as usize].push_back(pre);
+        let head = *q.send_minq[dst as usize].front().expect("just pushed");
+        ch.send_min[dst as usize].store(head, Ordering::Release);
+    }
+    ch.clock.store(pre + ctrl.send_overhead, Ordering::Release);
+    notify_runner(ch, &mut q);
 }
 
 pub(crate) fn lane_try_recv(ctrl: &ParCtrl, ch: &ProcChan) -> Option<Datagram> {
@@ -486,7 +629,7 @@ pub(crate) fn lane_try_recv(ctrl: &ParCtrl, ch: &ProcChan) -> Option<Datagram> {
     let c = ch.clock.load(Ordering::Relaxed);
     // Order matters: sample the bound *before* the mirror, so a delivery
     // landing in between is caught by the mirror read.
-    let quiet = quiet_bound(ctrl, node);
+    let quiet = quiet_bound(ctrl, ch, node);
     if let Some(d) = mirror_pop_lane(ctrl, node, c) {
         let op = Op::RecvHit {
             src: d.src,
@@ -518,7 +661,7 @@ pub(crate) fn lane_wait_recv(
         };
     }
     let c = ch.clock.load(Ordering::Relaxed);
-    let quiet = quiet_bound(ctrl, node);
+    let quiet = quiet_bound(ctrl, ch, node);
     if let Some(d) = mirror_pop_lane(ctrl, node, c) {
         let op = Op::RecvHit {
             src: d.src,
@@ -555,7 +698,7 @@ pub(crate) fn lane_wait_mailbox(ctrl: &ParCtrl, ch: &ProcChan, deadline: Option<
         };
     }
     let c = ch.clock.load(Ordering::Relaxed);
-    let quiet = quiet_bound(ctrl, node);
+    let quiet = quiet_bound(ctrl, ch, node);
     if mirror_nonempty(ctrl, node) {
         return true;
     }
@@ -589,7 +732,7 @@ pub(crate) fn lane_mailbox_nonempty(ctrl: &ParCtrl, ch: &ProcChan) -> bool {
         };
     }
     let c = ch.clock.load(Ordering::Relaxed);
-    let quiet = quiet_bound(ctrl, node);
+    let quiet = quiet_bound(ctrl, ch, node);
     if mirror_nonempty(ctrl, node) {
         return true;
     }
@@ -616,7 +759,7 @@ pub(crate) fn lane_compute_interruptible(
         };
     }
     let c = ch.clock.load(Ordering::Relaxed);
-    let quiet = quiet_bound(ctrl, node);
+    let quiet = quiet_bound(ctrl, ch, node);
     if mirror_nonempty(ctrl, node) {
         // Pending work: serial returns Some(dt) without charging anything.
         return Some(dt);
@@ -650,19 +793,19 @@ pub(crate) fn lane_finish(ctrl: &ParCtrl, ch: &ProcChan, panic: Option<Box<dyn A
         if ctrl.poisoned.load(Ordering::Acquire) || ch.dead.load(Ordering::Acquire) {
             return; // Run already over (teardown or fail-stop); nothing to report.
         }
-        if q.ops.len() < OP_LOG_CAP {
+        if q.ops.len() < ctrl.op_log_cap {
             break;
         }
+        q.lane_waiting = true;
         ch.out_cv.wait(&mut q);
+        q.lane_waiting = false;
     }
     let pre = ch.clock.load(Ordering::Relaxed);
     q.ops.push_back(OpMsg {
         pre_clock: pre,
         op: Op::Finished { panic },
     });
-    let front = q.ops.front().map_or(pre, |m| m.pre_clock);
-    ch.floor.store(front, Ordering::Release);
-    ch.ops_cv.notify_one();
+    notify_runner(ch, &mut q);
 }
 
 // ---------------------------------------------------------------------------
@@ -705,6 +848,8 @@ enum StepRes {
 struct Rep {
     chan: Arc<ProcChan>,
     cont: Option<Cont>,
+    /// Ops drained from the channel in one batch, replayed lock-free.
+    buf: VecDeque<OpMsg>,
 }
 
 /// The parallel twin of `Cluster::event_loop`. Event handling is
@@ -719,11 +864,12 @@ pub(crate) fn event_loop(
         reps: shared
             .par
             .chans
-            .lock()
+            .read()
             .iter()
             .map(|c| Rep {
                 chan: Arc::clone(c),
                 cont: None,
+                buf: VecDeque::new(),
             })
             .collect(),
         pend: (0..k.nodes.len()).map(|_| BTreeMap::new()).collect(),
@@ -755,6 +901,7 @@ pub(crate) fn event_loop(
         }
         debug_assert!(ev.time >= k.now, "event queue went backwards in time");
         k.now = k.now.max(ev.time);
+        shared.par.replay_now.store(k.now, Ordering::Release);
         if let Some(max) = k.config.max_virtual_time {
             if k.now > max {
                 return Err(RunFailure::Error(SimError::MaxVirtualTime {
@@ -911,7 +1058,7 @@ impl Runner {
         if let Some(cont) = self.reps[pid].cont.take() {
             match self.step_cont(k, pid, cont) {
                 StepRes::Parked => return,
-                StepRes::Done => self.settle_floor(pid),
+                StepRes::Done => {}
                 StepRes::Finished => return,
             }
         }
@@ -921,46 +1068,72 @@ impl Runner {
                 msg.pre_clock, k.now,
                 "lane clock diverged from the replay for proc {pid}"
             );
+            // Keep the blocked-lane floor fresh while replaying a batch:
+            // `k.now` can fast-forward through op after op without an
+            // event pop, and a stale floor just costs other lanes local
+            // resolutions.
+            self.shared.par.replay_now.store(k.now, Ordering::Release);
             match self.apply_op(k, pid, msg.op) {
-                StepRes::Done => self.settle_floor(pid),
+                StepRes::Done => {}
                 StepRes::Parked => return,
                 StepRes::Finished => return,
             }
         }
     }
 
-    fn next_op(&self, pid: ProcId) -> OpMsg {
-        let ch = &self.reps[pid].chan;
+    /// Next op for `pid`: from the drained batch if any, else one swap of
+    /// the channel's whole deque under a single lock acquisition (waking a
+    /// space-blocked lane at most once per batch).
+    fn next_op(&mut self, pid: ProcId) -> OpMsg {
+        let cap = self.shared.par.op_log_cap;
+        let rep = &mut self.reps[pid];
+        if let Some(msg) = rep.buf.pop_front() {
+            return msg;
+        }
+        let ch = &rep.chan;
         let mut q = ch.q.lock();
         loop {
-            if let Some(msg) = q.ops.pop_front() {
-                // Floor stays pinned at this op's pre_clock until its
-                // effects fully apply (settle_floor / publish).
-                ch.out_cv.notify_all(); // Log space freed.
-                return msg;
+            if !q.ops.is_empty() {
+                let was_full = q.ops.len() >= cap;
+                std::mem::swap(&mut rep.buf, &mut q.ops);
+                // Only a full log can have a lane parked for space; a
+                // lane parked for an outcome is woken by publish.
+                if was_full && q.lane_waiting {
+                    ch.out_cv.notify_one();
+                }
+                return rep.buf.pop_front().expect("swapped a non-empty deque");
             }
+            q.runner_waiting = true;
             ch.ops_cv.wait(&mut q);
+            q.runner_waiting = false;
         }
-    }
-
-    /// Raises the floor after an op's effects are fully applied: to the
-    /// next logged op's pre-clock, or the lane clock when drained.
-    fn settle_floor(&self, pid: ProcId) {
-        let ch = &self.reps[pid].chan;
-        let q = ch.q.lock();
-        let f = q
-            .ops
-            .front()
-            .map_or_else(|| ch.clock.load(Ordering::Relaxed), |m| m.pre_clock);
-        ch.floor.store(f, Ordering::Release);
     }
 
     fn publish(&self, pid: ProcId, out: Outcome) {
         let ch = &self.reps[pid].chan;
         let mut q = ch.q.lock();
+        // Unblock order: drop the parked flag before the clock/outcome so
+        // no reader can pair the flag with a floor published after the
+        // lane resumed (the floor's release/acquire edge carries this
+        // clear; see `quiet_bound`).
+        ch.rv_parked.store(false, Ordering::Release);
         ch.clock.store(out.clock(), Ordering::Release);
         q.outcome = Some(out);
-        ch.out_cv.notify_all();
+        if q.lane_waiting {
+            ch.out_cv.notify_one();
+        }
+    }
+
+    /// Marks `pid` as parked inside a rendezvous op with no pending wire
+    /// effect (see [`ProcChan::rv_parked`]). Call only from park sites
+    /// whose wake produces no datagram priced off the *pre-park* clock —
+    /// never for `Cont::SendWire`, whose wire handoff at wake is only
+    /// covered by the old pinned clock.
+    fn mark_rv_parked(&self, pid: ProcId) {
+        self.reps[pid]
+            .chan
+            .rv_parked
+            .store(true, Ordering::Release);
     }
 
     /// Serial `advance_locked`, replayed. Returns true when the proc
@@ -989,8 +1162,11 @@ impl Runner {
         replay_park(k, pid);
     }
 
-    /// Serial `send_datagram` after the overhead advance.
-    fn send_wire(&mut self, k: &mut Kernel, pid: ProcId, dst: NodeId, payload: Bytes) {
+    /// Serial `send_datagram` after the overhead advance. For
+    /// fire-and-forget sends (`sync` false) this also retires the lane's
+    /// covering promise — strictly *after* the resulting delivery (if any)
+    /// lowered the destination's queued bound, so coverage never lapses.
+    fn send_wire(&mut self, k: &mut Kernel, pid: ProcId, dst: NodeId, payload: Bytes, sync: bool) {
         let src = k.procs[pid].node;
         let now = k.now;
         if dst == src {
@@ -1002,6 +1178,14 @@ impl Runner {
             };
             self.pend_add_published(dst, now);
             k.push_event(now, EvKind::Deliver { dst, dgram });
+            if !sync {
+                let ch = &self.reps[pid].chan;
+                let mut q = ch.q.lock();
+                let t = q.loop_pending.pop_front().expect("ff loopback tracked");
+                debug_assert_eq!(t, now, "loopback promise diverged from the replay");
+                let head = q.loop_pending.front().copied().unwrap_or(u64::MAX);
+                ch.loop_head.store(head, Ordering::Release);
+            }
             return;
         }
         k.nodes[src as usize].net.messages += 1;
@@ -1021,6 +1205,20 @@ impl Runner {
             self.pend_add_published(dst, deliver_at);
             k.push_event(deliver_at, EvKind::Deliver { dst, dgram });
         }
+        if !sync {
+            // Retire the promise whether the frame was delivered or lost:
+            // a lost frame needs no coverage.
+            let ch = &self.reps[pid].chan;
+            let mut q = ch.q.lock();
+            let _ = q.send_minq[dst as usize]
+                .pop_front()
+                .expect("ff send tracked");
+            let head = q.send_minq[dst as usize]
+                .front()
+                .copied()
+                .unwrap_or(u64::MAX);
+            ch.send_min[dst as usize].store(head, Ordering::Release);
+        }
     }
 
     /// One iteration of the serial `wait_recv` loop body.
@@ -1030,6 +1228,7 @@ impl Runner {
             self.mirror_pop_replay(node as NodeId, &d);
             let ro = k.config.recv_overhead;
             if self.replay_advance(k, pid, Bucket::Unix, ro) {
+                self.mark_rv_parked(pid);
                 self.reps[pid].cont = Some(Cont::RecvOverhead { publish: Some(d) });
                 return StepRes::Parked;
             }
@@ -1049,6 +1248,7 @@ impl Runner {
             k.push_event(dl, EvKind::Wake { pid, seq });
         }
         replay_park(k, pid);
+        self.mark_rv_parked(pid);
         self.reps[pid].cont = Some(Cont::WaitRecv {
             deadline,
             park_start,
@@ -1076,6 +1276,7 @@ impl Runner {
             k.push_event(dl, EvKind::Wake { pid, seq });
         }
         replay_park(k, pid);
+        self.mark_rv_parked(pid);
         self.reps[pid].cont = Some(Cont::WaitMailbox {
             deadline,
             park_start,
@@ -1087,6 +1288,9 @@ impl Runner {
         match op {
             Op::Advance { bucket, dt, sync } => {
                 if self.replay_advance(k, pid, bucket, dt) {
+                    if sync {
+                        self.mark_rv_parked(pid);
+                    }
                     self.reps[pid].cont = Some(Cont::Park {
                         publish_clock: sync,
                     });
@@ -1114,7 +1318,7 @@ impl Runner {
             }
             Op::CounterRead { name } => {
                 let node = k.procs[pid].node as usize;
-                let v = k.nodes[node].counters.get(&name);
+                let v = k.nodes[node].counters.get(name);
                 self.publish(pid, Outcome::Value(v, k.now));
                 StepRes::Done
             }
@@ -1124,7 +1328,7 @@ impl Runner {
                     self.reps[pid].cont = Some(Cont::SendWire { dst, payload, sync });
                     return StepRes::Parked;
                 }
-                self.send_wire(k, pid, dst, payload);
+                self.send_wire(k, pid, dst, payload, sync);
                 if sync {
                     self.publish(pid, Outcome::Clock(k.now));
                 }
@@ -1171,6 +1375,7 @@ impl Runner {
                 }
                 k.procs[pid].waiting_for_msg = true;
                 self.replay_park_until(k, pid, wake_at);
+                self.mark_rv_parked(pid);
                 self.reps[pid].cont = Some(Cont::Interruptible { start, dt, bucket });
                 StepRes::Parked
             }
@@ -1218,6 +1423,7 @@ impl Runner {
                         self.mirror_pop_replay(node as NodeId, &d);
                         let ro = k.config.recv_overhead;
                         if self.replay_advance(k, pid, Bucket::Unix, ro) {
+                            self.mark_rv_parked(pid);
                             self.reps[pid].cont = Some(Cont::RecvOverhead { publish: Some(d) });
                             return StepRes::Parked;
                         }
@@ -1253,9 +1459,8 @@ impl Runner {
                 k.live_procs += 1;
                 let now = k.now;
                 k.push_event(now, EvKind::Wake { pid: new_pid, seq: 1 });
-                let chan = Arc::new(ProcChan::new(node));
+                let chan = Arc::new(ProcChan::new(node, k.nodes.len()));
                 chan.clock.store(now, Ordering::Release);
-                chan.floor.store(now, Ordering::Release);
                 // The node now shares its CPU between procs: disable the
                 // mirror and force every lane op through the rendezvous
                 // path (for both the spawner and the new proc).
@@ -1266,10 +1471,15 @@ impl Runner {
                     m.q.clear();
                 }
                 lane.multi.store(true, Ordering::Release);
-                self.shared.par.chans.lock().push(Arc::clone(&chan));
+                // Push before publishing the spawner's outcome: a quiet
+                // reader either sees the new chan, or still sees the
+                // spawner's clock pinned at `now`, which covers anything
+                // the new proc can send (its sends start at `now` too).
+                self.shared.par.chans.write().push(Arc::clone(&chan));
                 self.reps.push(Rep {
                     chan,
                     cont: None,
+                    buf: VecDeque::new(),
                 });
                 let ctx = NodeCtx::new_internal(
                     Arc::clone(&self.shared),
@@ -1295,7 +1505,9 @@ impl Runner {
                 }
                 let ch = &self.reps[pid].chan;
                 ch.dead.store(true, Ordering::Release);
-                ch.floor.store(u64::MAX, Ordering::Release);
+                // A finished proc influences nobody: stop it from capping
+                // other lanes' quiet bounds.
+                ch.clock.store(u64::MAX, Ordering::Release);
                 StepRes::Finished
             }
         }
@@ -1330,7 +1542,7 @@ impl Runner {
                 StepRes::Done
             }
             Cont::SendWire { dst, payload, sync } => {
-                self.send_wire(k, pid, dst, payload);
+                self.send_wire(k, pid, dst, payload, sync);
                 if sync {
                     self.publish(pid, Outcome::Clock(k.now));
                 }
@@ -1400,14 +1612,27 @@ impl Runner {
             k.procs[pid].parked = false;
             k.live_procs -= 1;
             k.end_time = k.end_time.max(k.now);
-            self.reps[pid].cont = None;
-            let ch = &self.reps[pid].chan;
+            let rep = &mut self.reps[pid];
+            rep.cont = None;
+            // Discard drained-but-unreplayed ops along with the queued
+            // ones: they are ops the serial run would never execute (the
+            // kernel cannot pass the crash event to reach them).
+            rep.buf.clear();
+            let ch = &rep.chan;
             {
                 let mut q = ch.q.lock();
                 q.ops.clear();
                 q.outcome = None;
+                q.loop_pending.clear();
+                for d in q.send_minq.iter_mut() {
+                    d.clear();
+                }
                 ch.dead.store(true, Ordering::Release);
-                ch.floor.store(u64::MAX, Ordering::Release);
+                for sm in ch.send_min.iter() {
+                    sm.store(u64::MAX, Ordering::Release);
+                }
+                ch.loop_head.store(u64::MAX, Ordering::Release);
+                ch.clock.store(u64::MAX, Ordering::Release);
                 ch.ops_cv.notify_all();
                 ch.out_cv.notify_all();
             }

@@ -340,6 +340,128 @@ fn parse_header(payload: &Bytes) -> Option<(u8, u32)> {
     wire_header(payload)
 }
 
+// Pre-interned metric keys for the per-message hot paths. Building each
+// key with `format!` costs a heap allocation per message, which dominated
+// the metrics-only tracer's overhead; every key is drawn from a small
+// finite enum product, so an exhaustive match returns a `&'static str`
+// with no allocation. The matches are compiler-checked against the enums
+// in `carlos-core`: adding a variant fails the build here instead of
+// silently minting a new runtime string.
+
+fn msg_sent_key(class: MsgClass) -> &'static str {
+    match class {
+        MsgClass::None => "msg.sent.NONE",
+        MsgClass::Request => "msg.sent.REQUEST",
+        MsgClass::Release => "msg.sent.RELEASE",
+        MsgClass::ReleaseNt => "msg.sent.RELEASE_NT",
+        MsgClass::System => "msg.sent.SYSTEM",
+    }
+}
+
+fn msg_dispatched_key(class: MsgClass) -> &'static str {
+    match class {
+        MsgClass::None => "msg.dispatched.NONE",
+        MsgClass::Request => "msg.dispatched.REQUEST",
+        MsgClass::Release => "msg.dispatched.RELEASE",
+        MsgClass::ReleaseNt => "msg.dispatched.RELEASE_NT",
+        MsgClass::System => "msg.dispatched.SYSTEM",
+    }
+}
+
+fn flow_latency_key(class: MsgClass) -> &'static str {
+    match class {
+        MsgClass::None => "flow.latency.NONE",
+        MsgClass::Request => "flow.latency.REQUEST",
+        MsgClass::Release => "flow.latency.RELEASE",
+        MsgClass::ReleaseNt => "flow.latency.RELEASE_NT",
+        MsgClass::System => "flow.latency.SYSTEM",
+    }
+}
+
+fn cost_key(class: MsgClass, phase: CostPhase) -> &'static str {
+    use CostPhase as P;
+    use MsgClass as M;
+    match (class, phase) {
+        (M::None, P::Send) => "cost.NONE.send",
+        (M::None, P::Recv) => "cost.NONE.recv",
+        (M::None, P::Accept) => "cost.NONE.accept",
+        (M::None, P::DiffCreate) => "cost.NONE.diff_create",
+        (M::None, P::DiffApply) => "cost.NONE.diff_apply",
+        (M::None, P::PageCopy) => "cost.NONE.page_copy",
+        (M::None, P::NoticeApply) => "cost.NONE.notice_apply",
+        (M::Request, P::Send) => "cost.REQUEST.send",
+        (M::Request, P::Recv) => "cost.REQUEST.recv",
+        (M::Request, P::Accept) => "cost.REQUEST.accept",
+        (M::Request, P::DiffCreate) => "cost.REQUEST.diff_create",
+        (M::Request, P::DiffApply) => "cost.REQUEST.diff_apply",
+        (M::Request, P::PageCopy) => "cost.REQUEST.page_copy",
+        (M::Request, P::NoticeApply) => "cost.REQUEST.notice_apply",
+        (M::Release, P::Send) => "cost.RELEASE.send",
+        (M::Release, P::Recv) => "cost.RELEASE.recv",
+        (M::Release, P::Accept) => "cost.RELEASE.accept",
+        (M::Release, P::DiffCreate) => "cost.RELEASE.diff_create",
+        (M::Release, P::DiffApply) => "cost.RELEASE.diff_apply",
+        (M::Release, P::PageCopy) => "cost.RELEASE.page_copy",
+        (M::Release, P::NoticeApply) => "cost.RELEASE.notice_apply",
+        (M::ReleaseNt, P::Send) => "cost.RELEASE_NT.send",
+        (M::ReleaseNt, P::Recv) => "cost.RELEASE_NT.recv",
+        (M::ReleaseNt, P::Accept) => "cost.RELEASE_NT.accept",
+        (M::ReleaseNt, P::DiffCreate) => "cost.RELEASE_NT.diff_create",
+        (M::ReleaseNt, P::DiffApply) => "cost.RELEASE_NT.diff_apply",
+        (M::ReleaseNt, P::PageCopy) => "cost.RELEASE_NT.page_copy",
+        (M::ReleaseNt, P::NoticeApply) => "cost.RELEASE_NT.notice_apply",
+        (M::System, P::Send) => "cost.SYSTEM.send",
+        (M::System, P::Recv) => "cost.SYSTEM.recv",
+        (M::System, P::Accept) => "cost.SYSTEM.accept",
+        (M::System, P::DiffCreate) => "cost.SYSTEM.diff_create",
+        (M::System, P::DiffApply) => "cost.SYSTEM.diff_apply",
+        (M::System, P::PageCopy) => "cost.SYSTEM.page_copy",
+        (M::System, P::NoticeApply) => "cost.SYSTEM.notice_apply",
+    }
+}
+
+fn fetch_count_key(kind: FetchKind) -> &'static str {
+    match kind {
+        FetchKind::Diffs => "fetch.diffs",
+        FetchKind::Page => "fetch.page",
+    }
+}
+
+fn fetch_latency_key(kind: FetchKind) -> &'static str {
+    match kind {
+        FetchKind::Diffs => "fetch.latency.diffs",
+        FetchKind::Page => "fetch.latency.page",
+    }
+}
+
+fn fetch_class_key(class: GranuleClass) -> &'static str {
+    match class {
+        GranuleClass::Fine => "fetch.class.fine",
+        GranuleClass::Page => "fetch.class.page",
+        GranuleClass::Bulk => "fetch.class.bulk",
+    }
+}
+
+fn fetch_bytes_key(class: GranuleClass) -> &'static str {
+    match class {
+        GranuleClass::Fine => "fetch.bytes.fine",
+        GranuleClass::Page => "fetch.bytes.page",
+        GranuleClass::Bulk => "fetch.bytes.bulk",
+    }
+}
+
+/// Interned `wait.{what}` keys for the sync ops the sync library reports
+/// today; unknown names fall back to an allocated key so future ops stay
+/// correct (just not allocation-free) until added here.
+fn wait_key(what: &'static str) -> Option<&'static str> {
+    match what {
+        "barrier" => Some("wait.barrier"),
+        "lock acquire" => Some("wait.lock acquire"),
+        "semaphore P" => Some("wait.semaphore P"),
+        _ => None,
+    }
+}
+
 impl CoreProbe for Tracer {
     fn release_sent(&self, _node: NodeId, _dst: NodeId, _required: &Vc) {
         self.inner.lock().metrics.count("protocol.release_sent", 1);
@@ -359,7 +481,7 @@ impl CoreProbe for Tracer {
 
     fn msg_sent(&self, node: NodeId, dst: NodeId, class: MsgClass, handler: u32, at: Ns) {
         let mut st = self.inner.lock();
-        st.metrics.count(&format!("msg.sent.{}", class.name()), 1);
+        st.metrics.count(msg_sent_key(class), 1);
         st.pending_send
             .entry((node, dst))
             .or_default()
@@ -376,13 +498,15 @@ impl CoreProbe for Tracer {
         at: Ns,
     ) {
         let mut st = self.inner.lock();
-        st.metrics.count(&format!("msg.dispatched.{}", class.name()), 1);
-        st.push_instant(InstantEvent {
-            node,
-            name: format!("dispatch {} h{handler:#x} from n{src}", class.name()),
-            cat: "protocol",
-            at,
-        });
+        st.metrics.count(msg_dispatched_key(class), 1);
+        if st.record_events {
+            st.push_instant(InstantEvent {
+                node,
+                name: format!("dispatch {} h{handler:#x} from n{src}", class.name()),
+                cat: "protocol",
+                at,
+            });
+        }
         if let Some(key) = st
             .pending_dispatch
             .get_mut(&(node, src))
@@ -397,51 +521,49 @@ impl CoreProbe for Tracer {
             }
             if let (Some(sent), Some(cls)) = (flow.msg_at.or(flow.sent_at), flow.class) {
                 let lat = at.saturating_sub(sent);
-                st.metrics
-                    .observe(&format!("flow.latency.{}", cls.name()), lat);
+                st.metrics.observe(flow_latency_key(cls), lat);
             }
         }
     }
 
     fn protocol_cost(&self, node: NodeId, class: MsgClass, phase: CostPhase, ns: Ns, at: Ns) {
         let mut st = self.inner.lock();
-        st.metrics
-            .observe(&format!("cost.{}.{}", class.name(), phase.name()), ns);
-        st.push_span(Span {
-            node,
-            name: format!("{} {}", phase.name(), class.name()),
-            cat: "cost",
-            start: at,
-            end: at + ns,
-        });
+        st.metrics.observe(cost_key(class, phase), ns);
+        if st.record_events {
+            st.push_span(Span {
+                node,
+                name: format!("{} {}", phase.name(), class.name()),
+                cat: "cost",
+                start: at,
+                end: at + ns,
+            });
+        }
     }
 
     fn fetch_started(&self, node: NodeId, server: NodeId, page: u32, kind: FetchKind, at: Ns) {
         let mut st = self.inner.lock();
-        let what = match kind {
-            FetchKind::Diffs => "diffs",
-            FetchKind::Page => "page",
-        };
-        st.metrics.count(&format!("fetch.{what}"), 1);
+        st.metrics.count(fetch_count_key(kind), 1);
         st.open_fetches.insert((node, server, page), (kind, at));
     }
 
     fn fetch_finished(&self, node: NodeId, server: NodeId, page: u32, at: Ns) {
         let mut st = self.inner.lock();
         if let Some((kind, began)) = st.open_fetches.remove(&(node, server, page)) {
-            let what = match kind {
-                FetchKind::Diffs => "diffs",
-                FetchKind::Page => "page",
-            };
             st.metrics
-                .observe(&format!("fetch.latency.{what}"), at.saturating_sub(began));
-            st.push_span(Span {
-                node,
-                name: format!("fetch {what} p{page} <- n{server}"),
-                cat: "fetch",
-                start: began,
-                end: at.max(began),
-            });
+                .observe(fetch_latency_key(kind), at.saturating_sub(began));
+            if st.record_events {
+                let what = match kind {
+                    FetchKind::Diffs => "diffs",
+                    FetchKind::Page => "page",
+                };
+                st.push_span(Span {
+                    node,
+                    name: format!("fetch {what} p{page} <- n{server}"),
+                    cat: "fetch",
+                    start: began,
+                    end: at.max(began),
+                });
+            }
         }
     }
 
@@ -455,9 +577,8 @@ impl CoreProbe for Tracer {
         _at: Ns,
     ) {
         let mut st = self.inner.lock();
-        st.metrics.count(&format!("fetch.class.{}", class.name()), 1);
-        st.metrics
-            .count(&format!("fetch.bytes.{}", class.name()), bytes as u64);
+        st.metrics.count(fetch_class_key(class), 1);
+        st.metrics.count(fetch_bytes_key(class), bytes as u64);
     }
 
     fn sync_wait(&self, node: NodeId, what: &'static str, id: u32, begin: bool, at: Ns) {
@@ -471,15 +592,20 @@ impl CoreProbe for Tracer {
             .get_mut(&(node, what, id))
             .and_then(Vec::pop)
         {
-            st.metrics
-                .observe(&format!("wait.{what}"), at.saturating_sub(began));
-            st.push_span(Span {
-                node,
-                name: format!("wait {what} #{id}"),
-                cat: "sync",
-                start: began,
-                end: at.max(began),
-            });
+            let elapsed = at.saturating_sub(began);
+            match wait_key(what) {
+                Some(key) => st.metrics.observe(key, elapsed),
+                None => st.metrics.observe(&format!("wait.{what}"), elapsed),
+            }
+            if st.record_events {
+                st.push_span(Span {
+                    node,
+                    name: format!("wait {what} #{id}"),
+                    cat: "sync",
+                    start: began,
+                    end: at.max(began),
+                });
+            }
         }
     }
 }

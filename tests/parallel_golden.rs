@@ -323,6 +323,116 @@ fn seed_sweep_sor_serial_vs_parallel_identical() {
     }
 }
 
+/// Backpressure stress: force the op-log channels down to a tiny capacity
+/// so every lane repeatedly fills its channel and blocks on the runner's
+/// batched drain. Capacity must never change results — all three pinned
+/// goldens must still reproduce byte for byte while the stall/wake path
+/// (lane `wait_space` ↔ runner swap-drain ↔ `was_full` wake) is exercised
+/// thousands of times instead of never.
+#[test]
+fn op_log_backpressure_stress_matches_goldens() {
+    const TINY_CAP: usize = 8;
+    // Rebuild each golden workload with the tiny capacity. The builders
+    // above bake in the default capacity, so re-derive the configs here.
+    let two_node_tiny = || -> SimReport {
+        const N: usize = 2;
+        let cfg = SimConfig::osdi94().parallel(true).with_op_log_cap(TINY_CAP);
+        let mut cluster = Cluster::new(cfg, N);
+        for node in 0..N as u32 {
+            cluster.spawn_node(node, move |ctx| {
+                let mut rt =
+                    Runtime::new(ctx, LrcConfig::osdi94(N, 1 << 15), CoreConfig::osdi94());
+                let sys = carlos::sync::install(&mut rt);
+                let lock = LockSpec::new(1, 0);
+                let b = BarrierSpec::global(9, 0);
+                for i in 0..12u32 {
+                    sys.acquire(&mut rt, lock);
+                    let slot = (i as usize % 6) * 8;
+                    let v = rt.read_u32(slot);
+                    rt.write_u32(slot, v + node + 1);
+                    sys.release(&mut rt, lock);
+                    rt.compute(us(70));
+                }
+                sys.barrier(&mut rt, b, 0);
+                let mut sum = 0;
+                for slot in 0..6 {
+                    sum += rt.read_u32(slot * 8);
+                }
+                assert_eq!(sum, 12 * (1 + 2));
+                sys.barrier(&mut rt, b, 1);
+                rt.shutdown();
+            });
+        }
+        cluster.run()
+    };
+    assert_matches_golden(
+        &two_node_tiny(),
+        GOLDEN_TWO_NODE,
+        "op_log_cap=8 2-node osdi94 workload",
+    );
+    // The lossy workload with the tiny capacity injected; a TSP run then
+    // cross-checks an application workload whose ff-send bursts overflow
+    // an 8-slot channel constantly.
+    let lossy = {
+        const N: usize = 2;
+        let cfg = SimConfig::fast_test()
+            .with_loss(0.10, 77)
+            .parallel(true)
+            .with_op_log_cap(TINY_CAP);
+        let mut cluster = Cluster::new(cfg, N);
+        for node in 0..N as u32 {
+            cluster.spawn_node(node, move |ctx| {
+                let ack = AckMode::Arq {
+                    window: 16,
+                    rto: ms(5),
+                };
+                let mut rt = Runtime::with_ack_mode(
+                    ctx,
+                    LrcConfig::small_test(N),
+                    CoreConfig::fast_test(),
+                    ack,
+                );
+                let sys = carlos::sync::install(&mut rt);
+                let lock = LockSpec::new(1, 0);
+                for _ in 0..6 {
+                    sys.acquire(&mut rt, lock);
+                    let v = rt.read_u32(0);
+                    rt.write_u32(0, v + 1);
+                    sys.release(&mut rt, lock);
+                }
+                sys.barrier(&mut rt, BarrierSpec::global(9, 0), 0);
+                assert_eq!(rt.read_u32(0), 12);
+                sys.barrier(&mut rt, BarrierSpec::global(9, 0), 1);
+                rt.shutdown();
+            });
+        }
+        cluster.run()
+    };
+    assert_matches_golden(
+        &lossy,
+        GOLDEN_TWO_NODE_LOSSY,
+        "op_log_cap=8 2-node lossy ARQ workload",
+    );
+    // TSP under tiny capacity must match its own default-capacity parallel
+    // run (both fingerprints, both application answers).
+    let tsp = |cap: Option<usize>| {
+        let mut cfg = TspConfig::test(3, TspVariant::Lock);
+        cfg.sim = cfg.sim.parallel(true);
+        if let Some(cap) = cap {
+            cfg.sim = cfg.sim.with_op_log_cap(cap);
+        }
+        run_tsp(&cfg)
+    };
+    let dflt = tsp(None);
+    let tiny = tsp(Some(TINY_CAP));
+    assert_eq!(dflt.best_len, tiny.best_len, "op_log_cap=8 TSP tour diverged");
+    assert_eq!(
+        fingerprint(&dflt.app.report),
+        fingerprint(&tiny.app.report),
+        "op_log_cap=8 TSP report fingerprint diverged from default capacity"
+    );
+}
+
 /// Same configuration, five runs: parallel mode must be flake-free under
 /// whatever thread interleavings the host happens to produce.
 #[test]
